@@ -1,0 +1,168 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+Two choices the paper makes are quantified here:
+
+* §4.1: objects are delivered on QUIC *streams* rather than datagrams "to
+  avoid losing messages due to the unreliability of datagrams" — the ablation
+  pushes updates over both delivery modes across a lossy link and compares
+  how many arrive;
+* §3: relays let the authoritative server fan out one update to many
+  subscribers — the ablation compares the number of objects the origin must
+  transmit with and without a relay in front of N subscribers.
+"""
+
+from __future__ import annotations
+
+from conftest import attach
+
+from repro.experiments.report import format_table
+from repro.moqt.objectmodel import MoqtObject, TrackState
+from repro.moqt.relay import MoqtRelay
+from repro.moqt.session import FetchResult, MoqtSession, MoqtSessionConfig, SubscribeResult
+from repro.moqt.track import FullTrackName
+from repro.netsim.link import LinkConfig
+from repro.netsim.network import Network
+from repro.netsim.packet import Address
+from repro.netsim.simulator import Simulator
+from repro.quic.connection import ConnectionConfig
+from repro.quic.endpoint import QuicEndpoint
+from repro.quic.tls import ServerTlsContext
+
+TRACK = FullTrackName.of(["dns", "a"], b"cdn.example")
+
+
+class _OneTrackPublisher:
+    """Minimal publisher delegate serving a single track."""
+
+    def __init__(self) -> None:
+        self.state = TrackState(TRACK)
+        self.state.publish(MoqtObject(group_id=1, object_id=0, payload=b"v1" * 64))
+
+    def handle_subscribe(self, session, message):
+        return SubscribeResult(ok=True, largest=self.state.largest)
+
+    def handle_fetch(self, session, message, full_track_name):
+        return FetchResult(ok=True, objects=self.state.latest_objects(1), largest=self.state.largest)
+
+
+def _push_updates(use_datagrams: bool, loss_rate: float, updates: int = 50) -> int:
+    """Publish ``updates`` objects across a lossy link; return how many arrive."""
+    simulator = Simulator(seed=99)
+    network = Network(simulator)
+    network.add_host("pub")
+    network.add_host("sub")
+    network.connect("pub", "sub", LinkConfig(delay=0.02, loss_rate=loss_rate))
+    delegate = _OneTrackPublisher()
+    config = MoqtSessionConfig(use_datagrams=use_datagrams)
+    publisher_sessions = []
+    QuicEndpoint(
+        network.host("pub"),
+        port=4443,
+        server_tls=ServerTlsContext(alpn_protocols=("moq-00",)),
+        on_connection=lambda conn: publisher_sessions.append(
+            MoqtSession(conn, is_client=False, config=config, publisher_delegate=delegate)
+        ),
+    )
+    client_endpoint = QuicEndpoint(network.host("sub"))
+    connection = client_endpoint.connect(
+        Address("pub", 4443), ConnectionConfig(alpn_protocols=("moq-00",))
+    )
+    session = MoqtSession(connection, is_client=True, config=config)
+    received = []
+    session.subscribe(TRACK, on_object=lambda obj: received.append(obj.group_id))
+    simulator.run(until=5.0)
+    publisher = publisher_sessions[0]
+    publisher_subscription = publisher.publisher_subscriptions()[0]
+    for version in range(2, updates + 2):
+        obj = MoqtObject(group_id=version, object_id=0, payload=b"update" * 50)
+        delegate.state.publish(obj)
+        publisher.publish(publisher_subscription, obj)
+        simulator.run(until=simulator.now + 1.0)
+    simulator.run(until=simulator.now + 30.0)
+    return len(set(received))
+
+
+def test_streams_vs_datagrams_under_loss(benchmark):
+    """§4.1 ablation: reliable streams vs unreliable datagrams at 20% loss."""
+    def run():
+        return {
+            "streams": _push_updates(use_datagrams=False, loss_rate=0.2),
+            "datagrams": _push_updates(use_datagrams=True, loss_rate=0.2),
+            "updates_published": 50,
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table([result])
+    attach(benchmark, delivery_table=table)
+    print("\nAblation — update delivery under 20% loss (out of 50 updates)\n" + table)
+    assert result["streams"] == 50, "stream delivery is reliable"
+    assert result["datagrams"] < 50, "datagram delivery loses updates"
+
+
+def _origin_objects_sent(subscribers: int, via_relay: bool, updates: int = 10) -> tuple[int, int]:
+    """Return (objects sent by origin, objects received by all subscribers)."""
+    simulator = Simulator(seed=7)
+    network = Network(simulator)
+    network.add_host("origin")
+    network.add_host("relay")
+    for index in range(subscribers):
+        network.add_host(f"sub{index}")
+    network.connect("origin", "relay", LinkConfig(delay=0.02))
+    for index in range(subscribers):
+        network.connect("relay", f"sub{index}", LinkConfig(delay=0.01))
+        network.connect("origin", f"sub{index}", LinkConfig(delay=0.03))
+
+    delegate = _OneTrackPublisher()
+    origin_sessions = []
+    QuicEndpoint(
+        network.host("origin"),
+        port=4443,
+        server_tls=ServerTlsContext(alpn_protocols=("moq-00",)),
+        on_connection=lambda conn: origin_sessions.append(
+            MoqtSession(conn, is_client=False, publisher_delegate=delegate)
+        ),
+    )
+    relay = MoqtRelay(network.host("relay"), upstream=Address("origin", 4443))
+    target = Address("relay", 4443) if via_relay else Address("origin", 4443)
+
+    received = []
+    for index in range(subscribers):
+        endpoint = QuicEndpoint(network.host(f"sub{index}"))
+        connection = endpoint.connect(target, ConnectionConfig(alpn_protocols=("moq-00",)))
+        session = MoqtSession(connection, is_client=True)
+        session.subscribe(TRACK, on_object=lambda obj: received.append(obj.group_id))
+    simulator.run(until=5.0)
+
+    for version in range(2, updates + 2):
+        obj = MoqtObject(group_id=version, object_id=0, payload=b"x" * 200)
+        delegate.state.publish(obj)
+        for origin_session in origin_sessions:
+            for publisher_subscription in origin_session.publisher_subscriptions():
+                origin_session.publish(publisher_subscription, obj)
+        simulator.run(until=simulator.now + 0.5)
+    simulator.run(until=simulator.now + 5.0)
+    origin_sent = sum(session.statistics.objects_sent for session in origin_sessions)
+    return origin_sent, len(received)
+
+
+def test_relay_fanout_reduces_origin_load(benchmark):
+    """§3 ablation: a relay aggregates N subscriptions into one origin stream."""
+    subscribers = 8
+
+    def run():
+        direct_sent, direct_received = _origin_objects_sent(subscribers, via_relay=False)
+        relayed_sent, relayed_received = _origin_objects_sent(subscribers, via_relay=True)
+        return {
+            "subscribers": subscribers,
+            "direct_origin_objects": direct_sent,
+            "relay_origin_objects": relayed_sent,
+            "direct_delivered": direct_received,
+            "relay_delivered": relayed_received,
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table([result])
+    attach(benchmark, fanout_table=table)
+    print("\nAblation — origin load with and without a relay (10 updates)\n" + table)
+    assert result["direct_delivered"] == result["relay_delivered"] == subscribers * 10
+    assert result["relay_origin_objects"] * subscribers <= result["direct_origin_objects"] + 1

@@ -1,0 +1,28 @@
+"""E10 / §4.5 — incremental deployment: fallback to traditional DNS."""
+
+from __future__ import annotations
+
+from conftest import attach
+
+from repro.experiments.compatibility import run_compatibility
+from repro.experiments.report import format_table
+
+
+def test_compatibility_fallback(benchmark):
+    """Happy-eyeballs fallback, declined subscriptions and periodic refresh."""
+    result = benchmark.pedantic(lambda: run_compatibility(ttl=30), rounds=1, iterations=1)
+    table = format_table(result.rows())
+    attach(benchmark, compatibility_table=table)
+    print("\n§4.5 — compatibility with non-MoQT authoritative servers\n" + table)
+
+    baseline = result.outcome("moqt-everywhere (baseline)")
+    decline = result.outcome("decline (auth UDP-only)")
+    refresh = result.outcome("periodic-refresh (auth UDP-only)")
+    assert baseline.resolved and decline.resolved and refresh.resolved
+    assert decline.answer_via_udp_fallback and refresh.answer_via_udp_fallback
+    assert not decline.update_delivered
+    assert refresh.update_delivered
+    # Refresh keeps subscribers within ~one TTL of the origin; native MoQT is
+    # within one propagation delay.
+    assert baseline.update_latency < 0.1
+    assert refresh.update_latency <= 45.0

@@ -1,0 +1,28 @@
+"""E1 / Fig. 1a — record-type coverage and TTL distribution of the top list."""
+
+from __future__ import annotations
+
+from conftest import attach
+
+from repro.experiments.fig1a import run_fig1a
+from repro.experiments.report import format_table
+
+
+def test_fig1a_ttl_distribution(benchmark):
+    """Regenerate Fig. 1a: per-type totals and TTL histograms."""
+    result = benchmark.pedantic(
+        lambda: run_fig1a(population=10_000), rounds=1, iterations=1
+    )
+    totals = format_table(result.total_rows())
+    histogram = format_table(result.ttl_rows())
+    attach(
+        benchmark,
+        totals_table=totals,
+        ttl_histogram=histogram,
+        https_share_at_300=result.https_share_at_300(),
+    )
+    print("\nFig. 1a — record-type totals (measured vs paper)\n" + totals)
+    print("\nFig. 1a — TTL histogram per record type\n" + histogram)
+    for row in result.total_rows():
+        assert abs(row["measured_fraction"] - row["paper_fraction"]) < 0.03
+    assert result.https_share_at_300() > 0.85

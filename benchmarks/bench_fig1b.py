@@ -1,0 +1,28 @@
+"""E2 / Fig. 1b — A-record change counts over 300 TTL-spaced observations."""
+
+from __future__ import annotations
+
+from conftest import attach
+
+from repro.experiments.fig1b import run_fig1b
+from repro.experiments.report import format_table
+
+
+def test_fig1b_change_rates(benchmark):
+    """Regenerate Fig. 1b: change-count percentiles per TTL cluster."""
+    result = benchmark.pedantic(
+        lambda: run_fig1b(population=4_000, observations=300, max_domains_per_ttl=200),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(result.rows())
+    attach(
+        benchmark,
+        change_rate_table=table,
+        low_ttl_p90_min=result.low_ttl_p90_minimum(),
+        high_ttl_p90_max=result.high_ttl_p90_maximum(),
+    )
+    print("\nFig. 1b — change counts per TTL over 300 observations\n" + table)
+    # Paper: >= 71 changes at p90 for TTLs <= 300 s; 0 changes at p90 for >= 600 s.
+    assert result.low_ttl_p90_minimum() >= 71
+    assert result.high_ttl_p90_maximum() == 0

@@ -1,0 +1,25 @@
+"""E3 / Fig. 2 — the recursive DNS-over-MoQT lookup sequence."""
+
+from __future__ import annotations
+
+from conftest import attach
+
+from repro.experiments.fig2_sequence import run_fig2
+from repro.experiments.report import format_table
+
+
+def test_fig2_lookup_sequence(benchmark):
+    """Regenerate the Fig. 2 sequence: subscribe+fetch per level, then a push."""
+    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    table = format_table(result.rows())
+    attach(
+        benchmark,
+        sequence=table,
+        lookup_latency_s=result.lookup_latency,
+        push_latency_s=result.push_latency,
+        upstream_operations=result.upstream_subscribe_fetch_operations,
+    )
+    print("\nFig. 2 — recursive DNS-over-MoQT lookup sequence\n" + table)
+    assert result.upstream_subscribe_fetch_operations == 3
+    assert result.answer_addresses == ["192.0.2.10"]
+    assert result.push_latency is not None and result.push_latency < 0.1

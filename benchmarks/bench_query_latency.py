@@ -1,0 +1,49 @@
+"""E4 / §5.2 — query latency per transport scenario, measured vs modelled."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import attach
+
+from repro.experiments.query_latency import run_query_latency, run_rtt_sweep
+from repro.experiments.report import format_table
+
+
+def test_query_latency_scenarios(benchmark):
+    """First-lookup latency: UDP vs MoQT cold / reused / 0-RTT / 0-RTT+ALPN / pushed."""
+    result = benchmark.pedantic(
+        lambda: run_query_latency(stub_rtt=0.010, upstream_rtt=0.040), rounds=1, iterations=1
+    )
+    table = format_table(result.rows())
+    attach(benchmark, latency_table=table)
+    print("\n§5.2 — query latency per scenario (10 ms stub RTT, 40 ms upstream RTT)\n" + table)
+    for measurement in result.measurements:
+        assert measurement.relative_error < 0.02, measurement.scenario
+    assert result.measurement("moqt-cold").measured > result.measurement("udp-first").measured
+    assert result.measurement("moqt-reused").measured == pytest.approx(
+        result.measurement("udp-first").measured, rel=1e-6
+    )
+    assert result.measurement("moqt-pushed").measured == 0.0
+
+
+def test_query_latency_rtt_sweep(benchmark):
+    """The same comparison across upstream RTTs (the gap grows with the RTT)."""
+    results = benchmark.pedantic(
+        lambda: run_rtt_sweep([0.020, 0.080]), rounds=1, iterations=1
+    )
+    rows = []
+    for result in results:
+        for measurement in result.measurements:
+            rows.append(
+                {
+                    "upstream_rtt_ms": result.upstream_rtt * 1000,
+                    **measurement.as_row(),
+                }
+            )
+    table = format_table(rows)
+    attach(benchmark, sweep_table=table)
+    print("\n§5.2 — query latency sweep over upstream RTTs\n" + table)
+    for result in results:
+        cold = result.measurement("moqt-cold").measured
+        udp = result.measurement("udp-first").measured
+        assert cold > 2.5 * udp / 1.3  # cold MoQT pays ~3x the per-hop cost

@@ -1,0 +1,31 @@
+"""E5 / §5 — update timeliness: pushed updates vs TTL-bounded polling."""
+
+from __future__ import annotations
+
+from conftest import attach
+
+from repro.experiments.report import format_table
+from repro.experiments.staleness import run_staleness
+
+
+def test_update_timeliness(benchmark):
+    """Time for a resolver to hold the latest record version after a change."""
+    result = benchmark.pedantic(
+        lambda: run_staleness(ttls=[10, 60, 300], change_offsets=[0.25, 0.75]),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(result.rows())
+    attach(
+        benchmark,
+        staleness_table=table,
+        model_pubsub_s=result.model_pubsub,
+        model_polling=result.model_expected_polling,
+    )
+    print("\n§5 — update timeliness (staleness after a record change)\n" + table)
+    for sample in result.samples:
+        # Pub/sub delivers within propagation delay; polling waits out the TTL.
+        assert sample.pubsub_staleness < 0.1
+        assert sample.polling_staleness > sample.pubsub_staleness
+    # The benefit grows with the TTL ("depending on the actual TTL", §5).
+    assert result.mean_improvement(300) > result.mean_improvement(10)

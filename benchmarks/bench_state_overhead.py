@@ -1,0 +1,29 @@
+"""E9 / §5.1 — state-management overhead and §4.4 teardown policies."""
+
+from __future__ import annotations
+
+from conftest import attach
+
+from repro.experiments.report import format_mapping, format_table
+from repro.experiments.state_overhead import run_state_overhead
+
+
+def test_state_overhead_and_teardown_policies(benchmark):
+    """State kept by a resolver per teardown policy, plus classic-vs-MoQT bytes."""
+    result = benchmark.pedantic(
+        lambda: run_state_overhead(questions=1000, duration=86_400.0), rounds=1, iterations=1
+    )
+    table = format_table(result.rows())
+    comparison = format_mapping(result.classic_vs_moqt, title="classic vs MoQT state (bytes)")
+    attach(benchmark, policy_table=table, classic_vs_moqt=result.classic_vs_moqt)
+    print("\n§5.1/§4.4 — subscription state per teardown policy\n" + table)
+    print(comparison)
+
+    by_name = {outcome.policy: outcome for outcome in result.policies}
+    assert by_name["never"].forced_resubscriptions == 0
+    assert by_name["never"].tracked_at_end == result.questions
+    # Every other policy trades state for re-subscriptions.
+    for name in ("idle-timeout", "lru-budget", "adaptive"):
+        assert by_name[name].state_bytes <= by_name["never"].state_bytes
+        assert by_name[name].torn_down > 0
+    assert result.classic_vs_moqt["extra_bytes"] > 0

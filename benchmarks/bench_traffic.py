@@ -1,0 +1,35 @@
+"""E6 / §5 — upstream message counts: polling vs pub/sub pushes."""
+
+from __future__ import annotations
+
+from conftest import attach
+
+from repro.experiments.report import format_table
+from repro.experiments.traffic import run_traffic
+
+
+def test_update_traffic(benchmark):
+    """Messages seen by the authoritative server per (TTL, change interval)."""
+    result = benchmark.pedantic(
+        lambda: run_traffic(
+            configurations=[(300, 3600.0), (60, 600.0), (10, 30.0), (300, 60.0)],
+            duration=600.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(result.rows())
+    attach(benchmark, traffic_table=table)
+    print("\n§5 — upstream messages over 600 s (polling vs pub/sub)\n" + table)
+
+    by_config = {(s.ttl, s.change_interval): s for s in result.samples}
+    # Records changing slower than their TTL: pub/sub strictly reduces traffic.
+    assert by_config[(300, 3600.0)].measured_pubsub_messages < by_config[(300, 3600.0)].measured_polling_queries
+    assert by_config[(60, 600.0)].measured_pubsub_messages < by_config[(60, 600.0)].measured_polling_queries
+    assert by_config[(10, 30.0)].measured_pubsub_messages < by_config[(10, 30.0)].measured_polling_queries
+    # Crossover: a hot record with a long TTL pushes more than polling would ask.
+    assert by_config[(300, 60.0)].measured_pubsub_messages > by_config[(300, 60.0)].measured_polling_queries
+    # Measured counts stay close to the closed-form model.
+    for sample in result.samples:
+        assert abs(sample.measured_polling_queries - sample.model.polling) <= 2
+        assert abs(sample.measured_pubsub_messages - sample.model.pubsub) <= 2

@@ -1,0 +1,31 @@
+"""E7/E8 / §5.3 — use-case traffic estimates (DDNS, CDN, deep space)."""
+
+from __future__ import annotations
+
+from conftest import attach
+
+from repro.experiments.report import format_table
+from repro.experiments.usecases import PAPER_CDN_STUB_KBPS, PAPER_DDNS_GBPS, run_usecases
+
+
+def test_usecase_estimates(benchmark):
+    """Reproduce the paper's back-of-envelope numbers and cross-check by simulation."""
+    result = benchmark.pedantic(
+        lambda: run_usecases(
+            simulated_domains=20, simulated_update_interval=10.0, simulated_duration=120.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(result.rows())
+    attach(
+        benchmark,
+        usecase_table=table,
+        ddns_gbps=result.ddns.gbps,
+        cdn_stub_kbps=result.cdn_stub.kbps,
+        simulation_relative_error=result.cdn_simulation_relative_error,
+    )
+    print("\n§5.3 — use-case estimates\n" + table)
+    assert abs(result.ddns.gbps - PAPER_DDNS_GBPS) / PAPER_DDNS_GBPS < 0.05
+    assert abs(result.cdn_stub.kbps - PAPER_CDN_STUB_KBPS) / PAPER_CDN_STUB_KBPS < 0.01
+    assert result.cdn_simulation_relative_error < 0.05

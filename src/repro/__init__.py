@@ -1,0 +1,38 @@
+"""DNS over Media-over-QUIC Transport (MoQT) — a publish-subscribe DNS.
+
+This package reproduces the system described in "From req/res to pub/sub:
+Exploring Media over QUIC Transport for DNS" (HotNets '25).  It contains:
+
+``repro.netsim``
+    A deterministic discrete-event network simulator (virtual clock, hosts,
+    links with delay/bandwidth/loss) that every other subsystem runs on.
+
+``repro.dns``
+    A full DNS substrate: wire-format names and messages, resource-record
+    types, zones, caches, authoritative servers and recursive resolvers using
+    classic UDP/TCP transports.
+
+``repro.quic``
+    A simulated QUIC transport: varints, frames, streams, 1-RTT handshake,
+    0-RTT session resumption, datagrams and idle timeouts.
+
+``repro.moqt``
+    Media over QUIC Transport (draft-ietf-moq-transport-12 subset): control
+    message codec, track naming, the object model, sessions, publishers,
+    subscribers and relays.
+
+``repro.core``
+    The paper's contribution: the DNS-to-MoQT mapping, an authoritative
+    MoQT nameserver, a recursive MoQT resolver, a forwarder, subscription
+    management, and compatibility fallbacks.
+
+``repro.workload`` / ``repro.measurement`` / ``repro.analysis`` /
+``repro.experiments``
+    Workload models calibrated to the paper's measurement study, the
+    measurement pipeline itself, analytical models for latency/staleness/
+    traffic, and one experiment driver per figure or quantitative claim.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

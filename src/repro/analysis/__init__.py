@@ -1,0 +1,72 @@
+"""Analytical models for the paper's quantitative arguments (§5).
+
+These closed-form models accompany the simulations: every experiment both
+*measures* its quantity on the simulated protocol stack and *predicts* it
+with the corresponding model here, so discrepancies are caught by tests.
+
+* :mod:`repro.analysis.latency_model` — round-trip accounting for query
+  latency over classic DNS and DNS-over-MoQT with each of the §5.2
+  optimisations;
+* :mod:`repro.analysis.staleness` — how long a resolver serves an outdated
+  record under TTL-based caching vs. pub/sub push;
+* :mod:`repro.analysis.traffic` — upstream request and update-push message
+  counts for polling vs. pub/sub;
+* :mod:`repro.analysis.usecases` — the §5.3 back-of-envelope estimates
+  (Dynamic DNS, CDN load balancing, deep space);
+* :mod:`repro.analysis.state_overhead` — per-endpoint state accounting for
+  the §5.1 discussion.
+"""
+
+from repro.analysis.latency_model import (
+    TransportScenario,
+    lookup_round_trips,
+    lookup_latency,
+    recursive_lookup_latency,
+    LatencyBreakdown,
+)
+from repro.analysis.staleness import (
+    worst_case_staleness,
+    expected_staleness_polling,
+    pubsub_staleness,
+    staleness_reduction_factor,
+)
+from repro.analysis.traffic import (
+    polling_requests,
+    pubsub_messages,
+    traffic_comparison,
+    TrafficComparison,
+)
+from repro.analysis.usecases import (
+    ddns_update_traffic_bps,
+    cdn_stub_traffic_bps,
+    deep_space_update_traffic_bps,
+    UseCaseEstimate,
+)
+from repro.analysis.state_overhead import (
+    StateModel,
+    endpoint_state_bytes,
+    state_comparison,
+)
+
+__all__ = [
+    "TransportScenario",
+    "lookup_round_trips",
+    "lookup_latency",
+    "recursive_lookup_latency",
+    "LatencyBreakdown",
+    "worst_case_staleness",
+    "expected_staleness_polling",
+    "pubsub_staleness",
+    "staleness_reduction_factor",
+    "polling_requests",
+    "pubsub_messages",
+    "traffic_comparison",
+    "TrafficComparison",
+    "ddns_update_traffic_bps",
+    "cdn_stub_traffic_bps",
+    "deep_space_update_traffic_bps",
+    "UseCaseEstimate",
+    "StateModel",
+    "endpoint_state_bytes",
+    "state_comparison",
+]

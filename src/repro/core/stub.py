@@ -1,0 +1,125 @@
+"""A standalone MoQT stub resolver.
+
+The paper's prototype did not yet include a native MoQT stub resolver — it
+used the forwarder on the client device for backwards compatibility (§5).
+This module implements that missing piece as an extension: an application-
+facing resolver that speaks MoQT directly to a recursive resolver, keeps its
+subscriptions warm, and exposes convenience calls
+(:meth:`MoqStubResolver.gethostbyname`, :meth:`MoqStubResolver.resolve_https`)
+that applications — e.g. a browser wanting to skip lookup latency entirely
+(§5.2) — can use.
+
+It reuses the forwarder's subscription and session machinery but never binds
+a UDP listener.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.forwarder import ForwarderConfig, MoqForwarder
+from repro.core.mapping import DnsQuestionKey
+from repro.core.session_manager import SessionManagerConfig
+from repro.core.subscription import TeardownPolicy
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.dns.types import Rcode, RecordType
+from repro.moqt.session import MoqtSessionConfig
+from repro.netsim.node import Host
+from repro.netsim.packet import Address
+
+
+class MoqStubResolver(MoqForwarder):
+    """An application-level stub resolver speaking DNS over MoQT.
+
+    Unlike :class:`~repro.core.forwarder.MoqForwarder`, no classic DNS
+    listener is created; applications call :meth:`resolve`,
+    :meth:`gethostbyname` or :meth:`resolve_https` directly and profit from
+    pushed updates for every name they have looked up before.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        recursive_moqt_address: Address,
+        upstream_timeout: float = 3.0,
+        session_manager: SessionManagerConfig | None = None,
+        moqt_session: MoqtSessionConfig | None = None,
+        teardown_policy: TeardownPolicy | None = None,
+    ) -> None:
+        config = ForwarderConfig(
+            listen_port=None,
+            upstream_timeout=upstream_timeout,
+            session_manager=session_manager or SessionManagerConfig(),
+            moqt_session=moqt_session or MoqtSessionConfig(),
+        )
+        super().__init__(host, recursive_moqt_address, config, teardown_policy)
+
+    # ------------------------------------------------------------ convenience
+    def gethostbyname(
+        self, name: Name | str, callback: Callable[[list[str]], None]
+    ) -> None:
+        """Resolve A records and hand the address strings to ``callback``.
+
+        An empty list is delivered for negative answers or failures, mirroring
+        a failed ``getaddrinfo`` call.
+        """
+        self._resolve_addresses(name, RecordType.A, callback)
+
+    def gethostbyname6(
+        self, name: Name | str, callback: Callable[[list[str]], None]
+    ) -> None:
+        """Resolve AAAA records and hand the address strings to ``callback``."""
+        self._resolve_addresses(name, RecordType.AAAA, callback)
+
+    def _resolve_addresses(
+        self,
+        name: Name | str,
+        rdtype: RecordType,
+        callback: Callable[[list[str]], None],
+    ) -> None:
+        key = DnsQuestionKey(
+            qname=name if isinstance(name, Name) else Name.from_text(name), qtype=rdtype
+        )
+
+        def finished(message: Message | None, version: int) -> None:
+            if message is None or message.rcode != Rcode.NOERROR:
+                callback([])
+                return
+            callback(
+                [record.rdata.to_text() for record in message.answers if record.rdtype == rdtype]
+            )
+
+        self.resolve(key, finished)
+
+    def resolve_https(
+        self, name: Name | str, callback: Callable[[list[str]], None]
+    ) -> None:
+        """Resolve the HTTPS record and deliver the advertised ALPN list.
+
+        Browsers use this to learn HTTP/3 support before connecting; with a
+        subscription in place the answer is always current and local.
+        """
+        key = DnsQuestionKey(
+            qname=name if isinstance(name, Name) else Name.from_text(name),
+            qtype=RecordType.HTTPS,
+        )
+
+        def finished(message: Message | None, version: int) -> None:
+            if message is None or not message.answers:
+                callback([])
+                return
+            alpns: list[str] = []
+            for record in message.answers:
+                if record.rdtype == RecordType.HTTPS:
+                    alpns.extend(record.rdata.alpns())  # type: ignore[attr-defined]
+            callback(alpns)
+
+        self.resolve(key, finished)
+
+    def is_subscribed(self, name: Name | str, rdtype: RecordType = RecordType.A) -> bool:
+        """Whether the resolver already holds (and keeps fresh) this question."""
+        key = DnsQuestionKey(
+            qname=name if isinstance(name, Name) else Name.from_text(name), qtype=rdtype
+        )
+        return self.record(key) is not None

@@ -1,0 +1,195 @@
+"""A TTL-driven DNS cache bound to the simulated clock.
+
+The cache stores RRsets keyed by (name, type, class) along with the virtual
+time at which they were inserted.  Lookups return ``None`` once the TTL has
+expired; returned RRsets have their TTL reduced by the time already spent in
+the cache, exactly like a real resolver cache.
+
+The cache also records hit/miss/expiry counters and, for the staleness
+experiments, can report the *insertion time* of an entry so an experiment can
+compute how old the data a client received actually is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dns.name import Name
+from repro.dns.rr import RRset
+from repro.dns.types import DNSClass, Rcode, RecordType
+from repro.netsim.simulator import Simulator
+
+
+@dataclass
+class CacheEntry:
+    """A cached RRset (or negative answer) with bookkeeping."""
+
+    rrset: RRset | None
+    rcode: Rcode
+    inserted_at: float
+    ttl: float
+
+    def expires_at(self) -> float:
+        """Absolute virtual time at which the entry stops being served."""
+        return self.inserted_at + self.ttl
+
+    def is_expired(self, now: float) -> bool:
+        """Whether the entry has outlived its TTL."""
+        return now >= self.expires_at()
+
+    def remaining_ttl(self, now: float) -> float:
+        """Seconds of validity left at time ``now`` (0 when expired)."""
+        return max(0.0, self.expires_at() - now)
+
+
+@dataclass
+class CacheStatistics:
+    """Hit/miss counters of a cache."""
+
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+    insertions: int = 0
+    pushed_updates: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class DnsCache:
+    """An RRset cache driven by the simulator clock.
+
+    Parameters
+    ----------
+    simulator:
+        Provides the virtual clock used for TTL expiry.
+    max_entries:
+        Optional bound; when exceeded, the entry closest to expiry is evicted.
+    """
+
+    def __init__(self, simulator: Simulator, max_entries: int | None = None) -> None:
+        self._simulator = simulator
+        self._entries: dict[tuple[Name, RecordType, DNSClass], CacheEntry] = {}
+        self._max_entries = max_entries
+        self.statistics = CacheStatistics()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _key(
+        self, name: Name, rdtype: RecordType, rdclass: DNSClass
+    ) -> tuple[Name, RecordType, DNSClass]:
+        return (name, rdtype, rdclass)
+
+    # ------------------------------------------------------------------ write
+    def put(
+        self,
+        name: Name,
+        rdtype: RecordType,
+        rrset: RRset | None,
+        rcode: Rcode = Rcode.NOERROR,
+        ttl: float | None = None,
+        rdclass: DNSClass = DNSClass.IN,
+        pushed: bool = False,
+    ) -> CacheEntry:
+        """Insert or replace an entry.
+
+        ``ttl`` defaults to the RRset's minimum TTL; negative answers must
+        provide an explicit TTL (usually the SOA minimum).  ``pushed`` marks
+        entries that were updated by a MoQT push rather than a lookup, which
+        the traffic experiments count separately.
+        """
+        if ttl is None:
+            if rrset is None:
+                raise ValueError("negative cache entries need an explicit TTL")
+            ttl = float(rrset.ttl)
+        entry = CacheEntry(
+            rrset=rrset, rcode=rcode, inserted_at=self._simulator.now, ttl=float(ttl)
+        )
+        if self._max_entries is not None and len(self._entries) >= self._max_entries:
+            self._evict_one()
+        self._entries[self._key(name, rdtype, rdclass)] = entry
+        self.statistics.insertions += 1
+        if pushed:
+            self.statistics.pushed_updates += 1
+        return entry
+
+    def _evict_one(self) -> None:
+        if not self._entries:
+            return
+        victim = min(self._entries.items(), key=lambda item: item[1].expires_at())
+        del self._entries[victim[0]]
+
+    # ------------------------------------------------------------------- read
+    def get(
+        self,
+        name: Name,
+        rdtype: RecordType,
+        rdclass: DNSClass = DNSClass.IN,
+    ) -> CacheEntry | None:
+        """Look up a fresh entry; expired entries are removed and counted."""
+        key = self._key(name, rdtype, rdclass)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.statistics.misses += 1
+            return None
+        if entry.is_expired(self._simulator.now):
+            del self._entries[key]
+            self.statistics.expirations += 1
+            self.statistics.misses += 1
+            return None
+        self.statistics.hits += 1
+        return entry
+
+    def peek(
+        self,
+        name: Name,
+        rdtype: RecordType,
+        rdclass: DNSClass = DNSClass.IN,
+    ) -> CacheEntry | None:
+        """Look up without affecting statistics or evicting expired entries."""
+        return self._entries.get(self._key(name, rdtype, rdclass))
+
+    def fresh_rrset(
+        self,
+        name: Name,
+        rdtype: RecordType,
+        rdclass: DNSClass = DNSClass.IN,
+    ) -> RRset | None:
+        """The cached RRset with its TTL decremented by the elapsed time."""
+        entry = self.get(name, rdtype, rdclass)
+        if entry is None or entry.rrset is None:
+            return None
+        remaining = int(entry.remaining_ttl(self._simulator.now))
+        return entry.rrset.with_ttl(max(0, remaining))
+
+    # ------------------------------------------------------------- maintenance
+    def flush(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
+
+    def remove(self, name: Name, rdtype: RecordType, rdclass: DNSClass = DNSClass.IN) -> bool:
+        """Remove a single entry; returns whether it was present."""
+        return self._entries.pop(self._key(name, rdtype, rdclass), None) is not None
+
+    def purge_expired(self) -> int:
+        """Remove all expired entries; returns how many were purged."""
+        now = self._simulator.now
+        expired = [key for key, entry in self._entries.items() if entry.is_expired(now)]
+        for key in expired:
+            del self._entries[key]
+        self.statistics.expirations += len(expired)
+        return len(expired)
+
+    def entries(self) -> dict[tuple[Name, RecordType, DNSClass], CacheEntry]:
+        """A shallow copy of the cache content (for inspection in tests)."""
+        return dict(self._entries)

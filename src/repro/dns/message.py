@@ -1,0 +1,278 @@
+"""DNS messages: header, question and record sections, with a wire codec.
+
+The codec implements the RFC 1035 message format including name compression
+on output and decompression on input.  Convenience constructors
+(:func:`make_query`, :func:`make_response`) build the messages the servers
+and resolvers in this repository exchange.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from repro.dns.name import Name
+from repro.dns.rr import ResourceRecord, RRset
+from repro.dns.types import DNSClass, Opcode, Rcode, RecordType
+
+
+class MessageError(ValueError):
+    """Raised for malformed DNS messages."""
+
+
+@dataclass(frozen=True)
+class Flags:
+    """The flag bits of the DNS header (QR, AA, TC, RD, RA, AD, CD)."""
+
+    qr: bool = False
+    aa: bool = False
+    tc: bool = False
+    rd: bool = True
+    ra: bool = False
+    ad: bool = False
+    cd: bool = False
+
+    def to_int(self, opcode: Opcode, rcode: Rcode) -> int:
+        """Pack flags, opcode and rcode into the 16-bit header field."""
+        value = 0
+        value |= (1 << 15) if self.qr else 0
+        value |= (int(opcode) & 0xF) << 11
+        value |= (1 << 10) if self.aa else 0
+        value |= (1 << 9) if self.tc else 0
+        value |= (1 << 8) if self.rd else 0
+        value |= (1 << 7) if self.ra else 0
+        value |= (1 << 5) if self.ad else 0
+        value |= (1 << 4) if self.cd else 0
+        value |= int(rcode) & 0xF
+        return value
+
+    @classmethod
+    def from_int(cls, value: int) -> tuple["Flags", Opcode, Rcode]:
+        """Unpack the 16-bit header field into flags, opcode and rcode."""
+        flags = cls(
+            qr=bool(value & (1 << 15)),
+            aa=bool(value & (1 << 10)),
+            tc=bool(value & (1 << 9)),
+            rd=bool(value & (1 << 8)),
+            ra=bool(value & (1 << 7)),
+            ad=bool(value & (1 << 5)),
+            cd=bool(value & (1 << 4)),
+        )
+        opcode = Opcode((value >> 11) & 0xF)
+        rcode = Rcode(value & 0xF)
+        return flags, opcode, rcode
+
+
+@dataclass(frozen=True)
+class Header:
+    """The fixed 12-byte DNS message header."""
+
+    message_id: int = 0
+    flags: Flags = field(default_factory=Flags)
+    opcode: Opcode = Opcode.QUERY
+    rcode: Rcode = Rcode.NOERROR
+
+    def to_wire(self, counts: tuple[int, int, int, int]) -> bytes:
+        """Encode with the given section counts (QD, AN, NS, AR)."""
+        return struct.pack(
+            "!HHHHHH",
+            self.message_id,
+            self.flags.to_int(self.opcode, self.rcode),
+            *counts,
+        )
+
+    @classmethod
+    def from_wire(cls, wire: bytes) -> tuple["Header", tuple[int, int, int, int]]:
+        """Decode the header and section counts from the first 12 bytes."""
+        if len(wire) < 12:
+            raise MessageError("message shorter than the 12-byte header")
+        message_id, raw_flags, qd, an, ns, ar = struct.unpack_from("!HHHHHH", wire, 0)
+        flags, opcode, rcode = Flags.from_int(raw_flags)
+        return cls(message_id, flags, opcode, rcode), (qd, an, ns, ar)
+
+
+@dataclass(frozen=True)
+class Question:
+    """A question section entry: QNAME, QTYPE, QCLASS."""
+
+    qname: Name
+    qtype: RecordType
+    qclass: DNSClass = DNSClass.IN
+
+    def to_wire(self, compress: dict[Name, int] | None = None, offset: int = 0) -> bytes:
+        """Encode the question."""
+        return self.qname.to_wire(compress, offset) + struct.pack(
+            "!HH", int(self.qtype), int(self.qclass)
+        )
+
+    @classmethod
+    def from_wire(cls, wire: bytes, offset: int) -> tuple["Question", int]:
+        """Decode a question starting at ``offset``."""
+        qname, offset = Name.from_wire(wire, offset)
+        qtype_raw, qclass_raw = struct.unpack_from("!HH", wire, offset)
+        return cls(qname, RecordType(qtype_raw), DNSClass(qclass_raw)), offset + 4
+
+    def to_text(self) -> str:
+        """Presentation format, e.g. ``"www.example.com. IN A"``."""
+        return f"{self.qname.to_text()} {self.qclass.to_text()} {self.qtype.to_text()}"
+
+
+@dataclass
+class Message:
+    """A complete DNS message."""
+
+    header: Header = field(default_factory=Header)
+    questions: list[Question] = field(default_factory=list)
+    answers: list[ResourceRecord] = field(default_factory=list)
+    authorities: list[ResourceRecord] = field(default_factory=list)
+    additionals: list[ResourceRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------ convenience
+    @property
+    def question(self) -> Question:
+        """The first (usually only) question."""
+        if not self.questions:
+            raise MessageError("message has no question")
+        return self.questions[0]
+
+    @property
+    def rcode(self) -> Rcode:
+        """The response code."""
+        return self.header.rcode
+
+    @property
+    def is_response(self) -> bool:
+        """Whether the QR bit is set."""
+        return self.header.flags.qr
+
+    def answer_rrset(self, rdtype: RecordType | None = None) -> RRset | None:
+        """Collect answer records (optionally of one type) into an RRset."""
+        if not self.answers:
+            return None
+        wanted = rdtype if rdtype is not None else self.answers[0].rdtype
+        matching = [record for record in self.answers if record.rdtype == wanted]
+        if not matching:
+            return None
+        rrset = RRset(matching[0].name, wanted, rdclass=matching[0].rdclass)
+        for record in matching:
+            rrset.add(record)
+        return rrset
+
+    def records(self) -> list[ResourceRecord]:
+        """All records from all three record sections."""
+        return [*self.answers, *self.authorities, *self.additionals]
+
+    # ------------------------------------------------------------------- wire
+    def to_wire(self) -> bytes:
+        """Encode the full message with name compression."""
+        counts = (
+            len(self.questions),
+            len(self.answers),
+            len(self.authorities),
+            len(self.additionals),
+        )
+        output = bytearray(self.header.to_wire(counts))
+        compress: dict[Name, int] = {}
+        for question in self.questions:
+            output += question.to_wire(compress, len(output))
+        for record in self.records():
+            output += record.to_wire(compress, len(output))
+        return bytes(output)
+
+    @classmethod
+    def from_wire(cls, wire: bytes) -> "Message":
+        """Decode a full message."""
+        header, (qd, an, ns, ar) = Header.from_wire(wire)
+        offset = 12
+        questions: list[Question] = []
+        for _ in range(qd):
+            question, offset = Question.from_wire(wire, offset)
+            questions.append(question)
+        sections: list[list[ResourceRecord]] = [[], [], []]
+        for section, count in zip(sections, (an, ns, ar)):
+            for _ in range(count):
+                record, offset = ResourceRecord.from_wire(wire, offset)
+                section.append(record)
+        return cls(header, questions, *sections)
+
+    # ------------------------------------------------------------------- text
+    def to_text(self) -> str:
+        """A dig-like multi-line rendering used by examples and traces."""
+        lines = [
+            f";; opcode: {self.header.opcode.name}, rcode: {self.header.rcode.name}, "
+            f"id: {self.header.message_id}",
+            ";; QUESTION SECTION:",
+        ]
+        lines.extend(f";{question.to_text()}" for question in self.questions)
+        for title, section in (
+            ("ANSWER", self.answers),
+            ("AUTHORITY", self.authorities),
+            ("ADDITIONAL", self.additionals),
+        ):
+            if section:
+                lines.append(f";; {title} SECTION:")
+                lines.extend(record.to_text() for record in section)
+        return "\n".join(lines)
+
+    @property
+    def size(self) -> int:
+        """The encoded size of the message in bytes."""
+        return len(self.to_wire())
+
+
+def make_query(
+    qname: Name | str,
+    qtype: RecordType | str,
+    message_id: int = 0,
+    recursion_desired: bool = True,
+    checking_disabled: bool = False,
+    qclass: DNSClass = DNSClass.IN,
+) -> Message:
+    """Build a standard query message."""
+    name = qname if isinstance(qname, Name) else Name.from_text(qname)
+    rdtype = qtype if isinstance(qtype, RecordType) else RecordType.from_text(qtype)
+    header = Header(
+        message_id=message_id,
+        flags=Flags(qr=False, rd=recursion_desired, cd=checking_disabled),
+        opcode=Opcode.QUERY,
+        rcode=Rcode.NOERROR,
+    )
+    return Message(header=header, questions=[Question(name, rdtype, qclass)])
+
+
+def make_response(
+    query: Message,
+    answers: Iterable[ResourceRecord] = (),
+    authorities: Iterable[ResourceRecord] = (),
+    additionals: Iterable[ResourceRecord] = (),
+    rcode: Rcode = Rcode.NOERROR,
+    authoritative: bool = False,
+    recursion_available: bool = False,
+) -> Message:
+    """Build a response mirroring the query's id and question."""
+    flags = Flags(
+        qr=True,
+        aa=authoritative,
+        rd=query.header.flags.rd,
+        ra=recursion_available,
+        cd=query.header.flags.cd,
+    )
+    header = Header(
+        message_id=query.header.message_id,
+        flags=flags,
+        opcode=query.header.opcode,
+        rcode=rcode,
+    )
+    return Message(
+        header=header,
+        questions=list(query.questions),
+        answers=list(answers),
+        authorities=list(authorities),
+        additionals=list(additionals),
+    )
+
+
+def response_with_rrset(query: Message, rrset: RRset, **kwargs: object) -> Message:
+    """Build a response whose answer section is the given RRset."""
+    return make_response(query, answers=list(rrset), **kwargs)  # type: ignore[arg-type]

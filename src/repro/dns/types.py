@@ -1,0 +1,93 @@
+"""DNS constants: record types, classes, opcodes and response codes."""
+
+from __future__ import annotations
+
+import enum
+
+
+class RecordType(enum.IntEnum):
+    """DNS resource-record (and query) types used in this repository."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    SRV = 33
+    OPT = 41
+    SVCB = 64
+    HTTPS = 65
+    ANY = 255
+
+    @classmethod
+    def from_text(cls, text: str) -> "RecordType":
+        """Parse a record type mnemonic such as ``"AAAA"``."""
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown record type: {text!r}") from None
+
+    def to_text(self) -> str:
+        """The standard mnemonic for this type."""
+        return self.name
+
+
+class DNSClass(enum.IntEnum):
+    """DNS classes; only IN is used in practice."""
+
+    IN = 1
+    CH = 3
+    HS = 4
+    NONE = 254
+    ANY = 255
+
+    @classmethod
+    def from_text(cls, text: str) -> "DNSClass":
+        """Parse a class mnemonic such as ``"IN"``."""
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown DNS class: {text!r}") from None
+
+    def to_text(self) -> str:
+        """The standard mnemonic for this class."""
+        return self.name
+
+
+class Opcode(enum.IntEnum):
+    """DNS opcodes (4 bits in the header)."""
+
+    QUERY = 0
+    IQUERY = 1
+    STATUS = 2
+    NOTIFY = 4
+    UPDATE = 5
+
+
+class Rcode(enum.IntEnum):
+    """DNS response codes (4 bits in the header)."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+    YXDOMAIN = 6
+    YXRRSET = 7
+    NXRRSET = 8
+    NOTAUTH = 9
+    NOTZONE = 10
+
+
+# Well-known ports used by the simulated transports.
+DNS_UDP_PORT = 53
+DNS_QUIC_PORT = 853
+MOQT_PORT = 4443
+
+# The default/maximum UDP payload size assumed when no EDNS is present.
+CLASSIC_UDP_LIMIT = 512
+EDNS_UDP_LIMIT = 1232

@@ -1,0 +1,115 @@
+"""A simple master-file (zone file) parser and serializer.
+
+The supported syntax covers what the examples and workload builder emit:
+
+* ``$ORIGIN`` and ``$TTL`` directives;
+* one record per line: ``name [ttl] [class] type rdata`` where ``name`` may be
+  ``@`` for the origin or a relative name;
+* ``;`` comments and blank lines.
+
+Parsed records are loaded into a :class:`repro.dns.zone.Zone` without bumping
+the serial for each record (the SOA in the file defines the serial).
+"""
+
+from __future__ import annotations
+
+from repro.dns.name import Name
+from repro.dns.rdata import SOARdata, parse_rdata
+from repro.dns.rr import ResourceRecord
+from repro.dns.types import DNSClass, RecordType
+from repro.dns.zone import Zone, ZoneError
+
+
+class ZoneFileError(ZoneError):
+    """Raised for unparseable zone file content."""
+
+
+def _resolve_name(token: str, origin: Name) -> Name:
+    if token == "@":
+        return origin
+    if token.endswith("."):
+        return Name.from_text(token)
+    relative = Name.from_text(token)
+    return Name(relative.labels + origin.labels)
+
+
+def parse_zone_text(text: str, origin: Name | str | None = None, default_ttl: int = 300) -> Zone:
+    """Parse master-file text into a :class:`Zone`.
+
+    Parameters
+    ----------
+    text:
+        The zone file content.
+    origin:
+        The zone origin; may instead be supplied by a ``$ORIGIN`` directive
+        appearing before the first record.
+    default_ttl:
+        Used for records without an explicit TTL when no ``$TTL`` directive
+        was seen.
+    """
+    current_origin = (
+        origin if isinstance(origin, Name) else Name.from_text(origin) if origin else None
+    )
+    current_ttl = default_ttl
+    pending: list[tuple[Name, int, RecordType, str]] = []
+    soa: SOARdata | None = None
+    soa_ttl = default_ttl
+    last_name: Name | None = None
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.startswith("$ORIGIN"):
+            current_origin = Name.from_text(line.split()[1])
+            continue
+        if line.startswith("$TTL"):
+            current_ttl = int(line.split()[1])
+            continue
+        if current_origin is None:
+            raise ZoneFileError(f"line {line_number}: record before $ORIGIN and no origin given")
+
+        starts_with_space = line[0].isspace()
+        tokens = line.split()
+        if starts_with_space:
+            if last_name is None:
+                raise ZoneFileError(f"line {line_number}: continuation line without previous owner")
+            owner = last_name
+        else:
+            owner = _resolve_name(tokens.pop(0), current_origin)
+            last_name = owner
+
+        ttl = current_ttl
+        if tokens and tokens[0].isdigit():
+            ttl = int(tokens.pop(0))
+        if tokens and tokens[0].upper() in ("IN", "CH", "HS"):
+            tokens.pop(0)
+        if not tokens:
+            raise ZoneFileError(f"line {line_number}: missing record type")
+        try:
+            rdtype = RecordType.from_text(tokens.pop(0))
+        except ValueError as error:
+            raise ZoneFileError(f"line {line_number}: {error}") from None
+        rdata_text = " ".join(tokens)
+        if rdtype == RecordType.SOA:
+            rdata = parse_rdata(rdtype, rdata_text)
+            assert isinstance(rdata, SOARdata)
+            soa = rdata
+            soa_ttl = ttl
+            continue
+        pending.append((owner, ttl, rdtype, rdata_text))
+
+    if current_origin is None:
+        raise ZoneFileError("no origin given and no $ORIGIN directive found")
+
+    zone = Zone(current_origin, soa=soa, default_ttl=default_ttl)
+    zone._soa_ttl = soa_ttl  # noqa: SLF001 - zone file controls the SOA TTL
+    for owner, ttl, rdtype, rdata_text in pending:
+        rdata = parse_rdata(rdtype, rdata_text)
+        zone.add_record(ResourceRecord(owner, rdtype, rdata, ttl, DNSClass.IN), bump=False)
+    return zone
+
+
+def serialize_zone(zone: Zone) -> str:
+    """Render a zone back to master-file text (wrapper around ``Zone.to_text``)."""
+    return zone.to_text()

@@ -1,0 +1,101 @@
+"""Run every experiment and render a combined report.
+
+``python -m repro.experiments.runner`` executes all experiments with fast
+default parameters and prints the tables that ``EXPERIMENTS.md`` records.
+Individual experiments are importable functions, so the benchmarks can run
+them with their own parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.experiments.compatibility import run_compatibility
+from repro.experiments.fig1a import run_fig1a
+from repro.experiments.fig1b import run_fig1b
+from repro.experiments.fig2_sequence import run_fig2
+from repro.experiments.query_latency import run_query_latency
+from repro.experiments.report import format_table
+from repro.experiments.staleness import run_staleness
+from repro.experiments.state_overhead import run_state_overhead
+from repro.experiments.traffic import run_traffic
+from repro.experiments.usecases import run_usecases
+
+
+@dataclass
+class ExperimentReport:
+    """One experiment's identifier, title and rendered table."""
+
+    experiment_id: str
+    title: str
+    table: str
+    result: Any
+
+
+def run_all(fast: bool = True) -> list[ExperimentReport]:
+    """Run every experiment; ``fast`` shrinks populations and durations."""
+    reports: list[ExperimentReport] = []
+
+    fig1a = run_fig1a(population=2_000 if fast else 10_000)
+    reports.append(
+        ExperimentReport("E1", "Fig. 1a — record types and TTL distribution",
+                         format_table(fig1a.total_rows()), fig1a)
+    )
+    fig1b = run_fig1b(
+        population=1_000 if fast else 10_000,
+        max_domains_per_ttl=60 if fast else None,
+    )
+    reports.append(
+        ExperimentReport("E2", "Fig. 1b — change rate per TTL",
+                         format_table(fig1b.rows()), fig1b)
+    )
+    fig2 = run_fig2()
+    reports.append(
+        ExperimentReport("E3", "Fig. 2 — recursive DNS-over-MoQT lookup sequence",
+                         format_table(fig2.rows()), fig2)
+    )
+    latency = run_query_latency()
+    reports.append(
+        ExperimentReport("E4", "§5.2 — query latency per transport scenario",
+                         format_table(latency.rows()), latency)
+    )
+    staleness = run_staleness(ttls=[10, 60] if fast else [10, 60, 300])
+    reports.append(
+        ExperimentReport("E5", "§5 — update timeliness (staleness)",
+                         format_table(staleness.rows()), staleness)
+    )
+    traffic = run_traffic(duration=120.0 if fast else 600.0,
+                          configurations=[(10, 30.0), (60, 600.0)] if fast else None)
+    reports.append(
+        ExperimentReport("E6", "§5 — upstream message counts (polling vs pub/sub)",
+                         format_table(traffic.rows()), traffic)
+    )
+    usecases = run_usecases(simulated_duration=30.0 if fast else 120.0)
+    reports.append(
+        ExperimentReport("E7/E8", "§5.3 — use-case traffic estimates",
+                         format_table(usecases.rows()), usecases)
+    )
+    state = run_state_overhead(questions=200 if fast else 1000)
+    reports.append(
+        ExperimentReport("E9", "§5.1 — state overhead and teardown policies",
+                         format_table(state.rows()), state)
+    )
+    compatibility = run_compatibility(ttl=10 if fast else 30)
+    reports.append(
+        ExperimentReport("E10", "§4.5 — compatibility / incremental deployment",
+                         format_table(compatibility.rows()), compatibility)
+    )
+    return reports
+
+
+def main() -> None:
+    """Entry point for ``python -m repro.experiments.runner``."""
+    for report in run_all(fast=True):
+        print(f"== {report.experiment_id}: {report.title}")
+        print(report.table)
+        print()
+
+
+if __name__ == "__main__":
+    main()

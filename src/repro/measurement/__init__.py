@@ -1,0 +1,35 @@
+"""The measurement pipeline of §2 of the paper.
+
+The paper's methodology is reproduced faithfully:
+
+1. resolve the top list and record which record types each domain publishes
+   and with which TTLs (Fig. 1a);
+2. for each record, take 300 consecutive observations spaced by the record's
+   TTL and count how often the *lexicographically ordered* RDATA changed
+   between observation *n-1* and *n* (Fig. 1b) — the ordering removes the
+   round-robin bias the paper calls out;
+3. summarise change counts per TTL cluster as percentiles.
+
+The observation source is pluggable: the fast path observes the synthetic
+change processes directly (equivalent, since resolution is deterministic in
+the simulator), and an end-to-end path resolves through the simulated
+resolver stack for a subsample to validate that equivalence.
+"""
+
+from repro.measurement.change_rate import count_changes, ChangeRateSummary, summarize_change_counts
+from repro.measurement.campaign import (
+    MeasurementCampaign,
+    CampaignConfig,
+    TtlDistributionResult,
+    ChangeRateResult,
+)
+
+__all__ = [
+    "count_changes",
+    "ChangeRateSummary",
+    "summarize_change_counts",
+    "MeasurementCampaign",
+    "CampaignConfig",
+    "TtlDistributionResult",
+    "ChangeRateResult",
+]

@@ -1,0 +1,74 @@
+"""Change counting with the paper's lexicographic comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.netsim.stats import SummaryStatistics
+
+
+def count_changes(samples: Sequence[Iterable[str]]) -> int:
+    """Count changes between consecutive samples of RDATA values.
+
+    Each sample is the set of RDATA strings observed at one observation
+    instant.  Samples are lexicographically ordered before comparison, so a
+    round-robin rotation of the same values does not count as a change —
+    exactly the §2 methodology ("we compared the lexicographic ordered sample
+    on positions n to n-1").
+    """
+    ordered = [tuple(sorted(sample)) for sample in samples]
+    changes = 0
+    for previous, current in zip(ordered, ordered[1:]):
+        if previous != current:
+            changes += 1
+    return changes
+
+
+@dataclass
+class ChangeRateSummary:
+    """Percentile summary of change counts for one TTL cluster."""
+
+    ttl: int
+    domains: int
+    observations: int
+    p50: float
+    p90: float
+    p99: float
+    mean: float
+    max: float
+    zero_change_fraction: float
+
+    def as_row(self) -> dict[str, float]:
+        """A flat dictionary row for report tables."""
+        return {
+            "ttl": float(self.ttl),
+            "domains": float(self.domains),
+            "observations": float(self.observations),
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "mean": self.mean,
+            "max": self.max,
+            "zero_change_fraction": self.zero_change_fraction,
+        }
+
+
+def summarize_change_counts(
+    ttl: int, change_counts: Sequence[int], observations: int
+) -> ChangeRateSummary:
+    """Summarise per-domain change counts for one TTL cluster."""
+    statistics = SummaryStatistics()
+    statistics.extend(float(count) for count in change_counts)
+    zero = sum(1 for count in change_counts if count == 0)
+    return ChangeRateSummary(
+        ttl=ttl,
+        domains=len(change_counts),
+        observations=observations,
+        p50=statistics.percentile(50),
+        p90=statistics.percentile(90),
+        p99=statistics.percentile(99),
+        mean=statistics.mean,
+        max=statistics.maximum,
+        zero_change_fraction=zero / len(change_counts) if change_counts else 0.0,
+    )

@@ -1,0 +1,224 @@
+"""Encodings of objects on unidirectional data streams and in datagrams.
+
+MoQT delivers objects either on unidirectional QUIC streams or in QUIC
+DATAGRAM frames.  The paper's prototype uses streams exclusively, to avoid
+losing record updates to datagram unreliability (§4.1); the datagram
+encoding is implemented anyway so the design choice can be ablated.
+
+Two stream flavours exist:
+
+* *subgroup streams* carry live objects for one subscription: a header with
+  the track alias, group ID and subgroup ID, followed by objects;
+* *fetch streams* carry the objects of one FETCH response: a header with the
+  fetch request ID, followed by objects that each repeat their group ID
+  because a fetch can span groups.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.moqt.errors import ProtocolViolation
+from repro.moqt.objectmodel import MoqtObject, ObjectStatus
+from repro.quic.varint import VarintReader, VarintWriter
+
+
+class DataStreamType(enum.IntEnum):
+    """First varint of a unidirectional data stream."""
+
+    SUBGROUP_HEADER = 0x04
+    FETCH_HEADER = 0x05
+
+
+class DatagramType(enum.IntEnum):
+    """First varint of an object datagram."""
+
+    OBJECT_DATAGRAM = 0x01
+
+
+@dataclass(frozen=True)
+class SubgroupStreamHeader:
+    """Header of a subgroup data stream."""
+
+    track_alias: int
+    group_id: int
+    subgroup_id: int = 0
+    publisher_priority: int = 128
+
+    def encode(self) -> bytes:
+        writer = VarintWriter()
+        writer.write_varint(DataStreamType.SUBGROUP_HEADER)
+        writer.write_varint(self.track_alias)
+        writer.write_varint(self.group_id)
+        writer.write_varint(self.subgroup_id)
+        writer.write_uint8(self.publisher_priority)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: VarintReader) -> "SubgroupStreamHeader":
+        return cls(
+            track_alias=reader.read_varint(),
+            group_id=reader.read_varint(),
+            subgroup_id=reader.read_varint(),
+            publisher_priority=reader.read_uint8(),
+        )
+
+
+@dataclass(frozen=True)
+class FetchStreamHeader:
+    """Header of a fetch data stream."""
+
+    request_id: int
+
+    def encode(self) -> bytes:
+        writer = VarintWriter()
+        writer.write_varint(DataStreamType.FETCH_HEADER)
+        writer.write_varint(self.request_id)
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, reader: VarintReader) -> "FetchStreamHeader":
+        return cls(request_id=reader.read_varint())
+
+
+def encode_subgroup_object(obj: MoqtObject) -> bytes:
+    """Encode one object following a subgroup stream header."""
+    writer = VarintWriter()
+    writer.write_varint(obj.object_id)
+    writer.write_length_prefixed(obj.extensions)
+    writer.write_length_prefixed(obj.payload)
+    writer.write_varint(int(obj.status))
+    return writer.getvalue()
+
+
+def decode_subgroup_object(reader: VarintReader, header: SubgroupStreamHeader) -> MoqtObject:
+    """Decode one object from a subgroup stream."""
+    object_id = reader.read_varint()
+    extensions = reader.read_length_prefixed()
+    payload = reader.read_length_prefixed()
+    status = ObjectStatus(reader.read_varint())
+    return MoqtObject(
+        group_id=header.group_id,
+        object_id=object_id,
+        payload=payload,
+        subgroup_id=header.subgroup_id,
+        publisher_priority=header.publisher_priority,
+        status=status,
+        extensions=extensions,
+    )
+
+
+def encode_fetch_object(obj: MoqtObject) -> bytes:
+    """Encode one object following a fetch stream header."""
+    writer = VarintWriter()
+    writer.write_varint(obj.group_id)
+    writer.write_varint(obj.subgroup_id)
+    writer.write_varint(obj.object_id)
+    writer.write_uint8(obj.publisher_priority)
+    writer.write_length_prefixed(obj.extensions)
+    writer.write_length_prefixed(obj.payload)
+    writer.write_varint(int(obj.status))
+    return writer.getvalue()
+
+
+def decode_fetch_object(reader: VarintReader) -> MoqtObject:
+    """Decode one object from a fetch stream."""
+    group_id = reader.read_varint()
+    subgroup_id = reader.read_varint()
+    object_id = reader.read_varint()
+    priority = reader.read_uint8()
+    extensions = reader.read_length_prefixed()
+    payload = reader.read_length_prefixed()
+    status = ObjectStatus(reader.read_varint())
+    return MoqtObject(
+        group_id=group_id,
+        object_id=object_id,
+        payload=payload,
+        subgroup_id=subgroup_id,
+        publisher_priority=priority,
+        status=status,
+        extensions=extensions,
+    )
+
+
+def encode_object_datagram(track_alias: int, obj: MoqtObject) -> bytes:
+    """Encode an object as a single datagram payload."""
+    writer = VarintWriter()
+    writer.write_varint(DatagramType.OBJECT_DATAGRAM)
+    writer.write_varint(track_alias)
+    writer.write_varint(obj.group_id)
+    writer.write_varint(obj.object_id)
+    writer.write_uint8(obj.publisher_priority)
+    writer.write_length_prefixed(obj.extensions)
+    writer.write_length_prefixed(obj.payload)
+    return writer.getvalue()
+
+
+def decode_object_datagram(data: bytes) -> tuple[int, MoqtObject]:
+    """Decode an object datagram; returns ``(track_alias, object)``."""
+    reader = VarintReader(data)
+    datagram_type = reader.read_varint()
+    if datagram_type != DatagramType.OBJECT_DATAGRAM:
+        raise ProtocolViolation(f"unexpected datagram type {datagram_type:#x}")
+    track_alias = reader.read_varint()
+    group_id = reader.read_varint()
+    object_id = reader.read_varint()
+    priority = reader.read_uint8()
+    extensions = reader.read_length_prefixed()
+    payload = reader.read_length_prefixed()
+    obj = MoqtObject(
+        group_id=group_id,
+        object_id=object_id,
+        payload=payload,
+        publisher_priority=priority,
+        extensions=extensions,
+    )
+    return track_alias, obj
+
+
+class DataStreamParser:
+    """Incremental parser for one incoming unidirectional data stream.
+
+    Feed it stream chunks; it yields the header once and then complete
+    objects as they become available.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self.header: SubgroupStreamHeader | FetchStreamHeader | None = None
+        self.finished = False
+
+    def feed(self, data: bytes, fin: bool) -> list[MoqtObject]:
+        """Add bytes (and possibly the FIN); return completed objects."""
+        self._buffer += data
+        if fin:
+            self.finished = True
+        objects: list[MoqtObject] = []
+        while True:
+            reader = VarintReader(bytes(self._buffer))
+            try:
+                if self.header is None:
+                    stream_type = reader.read_varint()
+                    if stream_type == DataStreamType.SUBGROUP_HEADER:
+                        self.header = SubgroupStreamHeader.decode(reader)
+                    elif stream_type == DataStreamType.FETCH_HEADER:
+                        self.header = FetchStreamHeader.decode(reader)
+                    else:
+                        raise ProtocolViolation(f"unknown data stream type {stream_type:#x}")
+                    del self._buffer[: reader.offset]
+                    continue
+                if isinstance(self.header, SubgroupStreamHeader):
+                    obj = decode_subgroup_object(reader, self.header)
+                else:
+                    obj = decode_fetch_object(reader)
+                del self._buffer[: reader.offset]
+                objects.append(obj)
+            except ProtocolViolation:
+                raise
+            except Exception:
+                # Not enough bytes for the next element yet.
+                break
+            if not self._buffer:
+                break
+        return objects

@@ -1,0 +1,58 @@
+"""MoQT error types and error codes."""
+
+from __future__ import annotations
+
+import enum
+
+
+class MoqtError(Exception):
+    """Base class for MoQT protocol errors."""
+
+
+class ProtocolViolation(MoqtError):
+    """Raised when a peer violates the MoQT state machine or wire format."""
+
+
+class SessionTerminated(MoqtError):
+    """Raised when an operation is attempted on a terminated session."""
+
+
+class SubscribeErrorCode(enum.IntEnum):
+    """Error codes carried in SUBSCRIBE_ERROR.
+
+    ``TRACK_DOES_NOT_EXIST`` doubles as the code used by the §4.5
+    compatibility path when a recursive resolver declines a subscription for
+    a domain whose authoritative server does not support MoQT.
+    """
+
+    INTERNAL_ERROR = 0x0
+    UNAUTHORIZED = 0x1
+    TIMEOUT = 0x2
+    NOT_SUPPORTED = 0x3
+    TRACK_DOES_NOT_EXIST = 0x4
+    INVALID_RANGE = 0x5
+    RETRY_TRACK_ALIAS = 0x6
+
+
+class FetchErrorCode(enum.IntEnum):
+    """Error codes carried in FETCH_ERROR."""
+
+    INTERNAL_ERROR = 0x0
+    UNAUTHORIZED = 0x1
+    TIMEOUT = 0x2
+    NOT_SUPPORTED = 0x3
+    TRACK_DOES_NOT_EXIST = 0x4
+    INVALID_RANGE = 0x5
+    NO_OBJECTS = 0x6
+
+
+class SessionErrorCode(enum.IntEnum):
+    """Session-level error codes (carried in GOAWAY / connection close)."""
+
+    NO_ERROR = 0x0
+    INTERNAL_ERROR = 0x1
+    UNAUTHORIZED = 0x2
+    PROTOCOL_VIOLATION = 0x3
+    PARAMETER_LENGTH_MISMATCH = 0x5
+    TOO_MANY_REQUESTS = 0x6
+    VERSION_NEGOTIATION_FAILED = 0x9

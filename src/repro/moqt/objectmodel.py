@@ -1,0 +1,118 @@
+"""The MoQT object model: tracks contain groups, groups contain objects.
+
+Objects are the unit of delivery.  Within a track an object is addressed by
+``(group_id, object_id)``; MoQT requires that two objects with the same
+group and object ID in the same track have identical payloads — the property
+the paper relies on so that all subscribers of a DNS track observe identical
+record versions (§4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ObjectStatus(enum.IntEnum):
+    """Object status codes (draft-12 §9.4.2)."""
+
+    NORMAL = 0x0
+    DOES_NOT_EXIST = 0x1
+    END_OF_GROUP = 0x3
+    END_OF_TRACK = 0x4
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """A position in a track: group ID plus object ID."""
+
+    group_id: int
+    object_id: int
+
+    def next_group(self) -> "Location":
+        """The first object of the following group."""
+        return Location(self.group_id + 1, 0)
+
+
+@dataclass(frozen=True)
+class MoqtObject:
+    """A single object: addressing metadata plus an opaque payload."""
+
+    group_id: int
+    object_id: int
+    payload: bytes
+    subgroup_id: int = 0
+    publisher_priority: int = 128
+    status: ObjectStatus = ObjectStatus.NORMAL
+    extensions: bytes = b""
+
+    @property
+    def location(self) -> Location:
+        """The object's location within its track."""
+        return Location(self.group_id, self.object_id)
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes."""
+        return len(self.payload)
+
+
+class TrackState:
+    """Publisher-side state of one track: the objects published so far.
+
+    The DNS-over-MoQT authoritative server stores one ``TrackState`` per DNS
+    question track.  Objects are retained so FETCH requests for earlier
+    versions can be answered; ``largest`` tracks the newest location for
+    SUBSCRIBE_OK / FETCH_OK responses.
+    """
+
+    def __init__(self, full_track_name: object, max_retained_groups: int | None = 64) -> None:
+        self.full_track_name = full_track_name
+        self._objects: dict[Location, MoqtObject] = {}
+        self._max_retained_groups = max_retained_groups
+        self.largest: Location | None = None
+
+    def publish(self, obj: MoqtObject) -> None:
+        """Record a newly published object."""
+        location = obj.location
+        existing = self._objects.get(location)
+        if existing is not None and existing.payload != obj.payload:
+            raise ValueError(
+                f"object {location} republished with different payload; "
+                "MoQT requires identical content for identical IDs"
+            )
+        self._objects[location] = obj
+        if self.largest is None or location > self.largest:
+            self.largest = location
+        self._enforce_retention()
+
+    def _enforce_retention(self) -> None:
+        if self._max_retained_groups is None or self.largest is None:
+            return
+        minimum_group = self.largest.group_id - self._max_retained_groups + 1
+        if minimum_group <= 0:
+            return
+        stale = [location for location in self._objects if location.group_id < minimum_group]
+        for location in stale:
+            del self._objects[location]
+
+    def get(self, location: Location) -> MoqtObject | None:
+        """The object at ``location``, if still retained."""
+        return self._objects.get(location)
+
+    def objects_in_range(self, start: Location, end: Location | None = None) -> list[MoqtObject]:
+        """Objects between ``start`` (inclusive) and ``end`` (inclusive), ordered."""
+        selected = [
+            obj
+            for location, obj in self._objects.items()
+            if location >= start and (end is None or location <= end)
+        ]
+        return sorted(selected, key=lambda obj: obj.location)
+
+    def latest_objects(self, count: int) -> list[MoqtObject]:
+        """The ``count`` most recent objects, oldest first."""
+        ordered = sorted(self._objects.values(), key=lambda obj: obj.location)
+        return ordered[-count:]
+
+    def __len__(self) -> int:
+        return len(self._objects)

@@ -1,0 +1,292 @@
+"""MoQT relays: fan-out, subscription aggregation and object caching.
+
+Relays are MoQT endpoints that neither produce nor consume objects; they
+forward objects from publishers to subscribers without looking at payloads
+(§3 of the paper).  Because objects carrying DNS responses are opaque to
+them, a generic relay can distribute DNS record updates from an
+authoritative server to many resolvers, which is what the CDN and deep-space
+use cases in §5.3 rely on.
+
+The relay implemented here:
+
+* accepts downstream MoQT sessions on a QUIC server endpoint;
+* aggregates subscriptions — the first downstream SUBSCRIBE for a track
+  creates a single upstream subscription, later ones share it;
+* caches objects per track so FETCH requests can be answered locally once at
+  least one object has been seen, and forwards FETCHes upstream otherwise;
+* forwards every received object to all downstream subscribers of the track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.moqt.errors import FetchErrorCode, SubscribeErrorCode
+from repro.moqt.messages import Fetch, FetchType, Subscribe
+from repro.moqt.objectmodel import Location, MoqtObject, TrackState
+from repro.moqt.session import (
+    FetchResult,
+    MoqtSession,
+    MoqtSessionConfig,
+    SubscribeResult,
+    Subscription,
+)
+from repro.moqt.track import FullTrackName
+from repro.netsim.node import Host
+from repro.netsim.packet import Address
+from repro.quic.connection import ConnectionConfig, QuicConnection
+from repro.quic.endpoint import QuicEndpoint
+from repro.quic.tls import ServerTlsContext
+
+MOQT_ALPN = "moq-00"
+DEFAULT_MOQT_PORT = 4443
+
+
+@dataclass
+class _DownstreamSubscriber:
+    """One downstream subscription attached to a relayed track."""
+
+    session: MoqtSession
+    request_id: int
+
+
+@dataclass
+class RelayTrack:
+    """Relay state for one full track name."""
+
+    full_track_name: FullTrackName
+    cache: TrackState
+    upstream_subscription: Subscription | None = None
+    downstream: list[_DownstreamSubscriber] = field(default_factory=list)
+    objects_forwarded: int = 0
+
+
+@dataclass
+class RelayStatistics:
+    """Counters kept by a relay."""
+
+    downstream_sessions: int = 0
+    downstream_subscribes: int = 0
+    upstream_subscribes: int = 0
+    objects_received: int = 0
+    objects_forwarded: int = 0
+    fetches_served_from_cache: int = 0
+    fetches_forwarded_upstream: int = 0
+
+
+class MoqtRelay:
+    """A caching, aggregating MoQT relay.
+
+    Parameters
+    ----------
+    host:
+        The simulated host the relay runs on.
+    upstream:
+        Address of the upstream MoQT endpoint (origin publisher or another
+        relay).
+    port:
+        Port to accept downstream sessions on.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        upstream: Address,
+        port: int = DEFAULT_MOQT_PORT,
+        session_config: MoqtSessionConfig | None = None,
+    ) -> None:
+        self.host = host
+        self.simulator = host.simulator
+        self.upstream_address = upstream
+        self.session_config = session_config if session_config is not None else MoqtSessionConfig()
+        self.statistics = RelayStatistics()
+        self._tracks: dict[FullTrackName, RelayTrack] = {}
+        self._downstream_sessions: list[MoqtSession] = []
+        self._upstream_session: MoqtSession | None = None
+
+        self._server_endpoint = QuicEndpoint(
+            host,
+            port=port,
+            server_tls=ServerTlsContext(alpn_protocols=(MOQT_ALPN,)),
+            on_connection=self._on_downstream_connection,
+        )
+        self._client_endpoint = QuicEndpoint(host)
+
+    @property
+    def address(self) -> Address:
+        """The address downstream subscribers connect to."""
+        return self._server_endpoint.address
+
+    # ----------------------------------------------------------- downstream side
+    def _on_downstream_connection(self, connection: QuicConnection) -> None:
+        session = MoqtSession(
+            connection,
+            is_client=False,
+            config=self.session_config,
+            publisher_delegate=_RelayDelegate(self),
+        )
+        self._downstream_sessions.append(session)
+        self.statistics.downstream_sessions += 1
+
+    def downstream_sessions(self) -> list[MoqtSession]:
+        """All downstream sessions accepted so far."""
+        return list(self._downstream_sessions)
+
+    # ------------------------------------------------------------- upstream side
+    def _ensure_upstream_session(self) -> MoqtSession:
+        if self._upstream_session is not None and not self._upstream_session.closed:
+            return self._upstream_session
+        connection = self._client_endpoint.connect(
+            self.upstream_address,
+            ConnectionConfig(alpn_protocols=(MOQT_ALPN,)),
+        )
+        self._upstream_session = MoqtSession(
+            connection, is_client=True, config=self.session_config
+        )
+        return self._upstream_session
+
+    def _track_for(self, full_track_name: FullTrackName) -> RelayTrack:
+        track = self._tracks.get(full_track_name)
+        if track is None:
+            track = RelayTrack(
+                full_track_name=full_track_name, cache=TrackState(full_track_name)
+            )
+            self._tracks[full_track_name] = track
+        return track
+
+    def tracks(self) -> dict[FullTrackName, RelayTrack]:
+        """All relayed tracks."""
+        return dict(self._tracks)
+
+    # ------------------------------------------------------------- subscription
+    def _handle_downstream_subscribe(
+        self, session: MoqtSession, message: Subscribe
+    ) -> SubscribeResult | None:
+        self.statistics.downstream_subscribes += 1
+        track = self._track_for(message.full_track_name)
+        track.downstream.append(_DownstreamSubscriber(session, message.request_id))
+        if track.upstream_subscription is None:
+            # First subscriber for this track: aggregate into one upstream
+            # subscription and answer the downstream once it is accepted.
+            upstream = self._ensure_upstream_session()
+            self.statistics.upstream_subscribes += 1
+
+            def on_upstream_response(subscription: Subscription) -> None:
+                if subscription.is_active:
+                    result = SubscribeResult(ok=True, largest=subscription.largest)
+                else:
+                    result = SubscribeResult(
+                        ok=False,
+                        error_code=SubscribeErrorCode(subscription.error_code)
+                        if subscription.error_code in SubscribeErrorCode._value2member_map_
+                        else SubscribeErrorCode.INTERNAL_ERROR,
+                        reason=subscription.error_reason,
+                    )
+                session.complete_subscribe(message.request_id, result)
+
+            track.upstream_subscription = upstream.subscribe(
+                message.full_track_name,
+                on_object=lambda obj, t=track: self._on_upstream_object(t, obj),
+                on_response=on_upstream_response,
+            )
+            return None
+        return SubscribeResult(ok=True, largest=track.cache.largest)
+
+    def _on_upstream_object(self, track: RelayTrack, obj: MoqtObject) -> None:
+        self.statistics.objects_received += 1
+        track.cache.publish(obj)
+        self._forward_to_downstream(track, obj)
+
+    def _forward_to_downstream(self, track: RelayTrack, obj: MoqtObject) -> None:
+        for subscriber in list(track.downstream):
+            if subscriber.session.closed:
+                track.downstream.remove(subscriber)
+                continue
+            publisher_subscription = subscriber.session.publisher_subscription(
+                subscriber.request_id
+            )
+            if publisher_subscription is None:
+                continue
+            subscriber.session.publish(publisher_subscription, obj)
+            track.objects_forwarded += 1
+            self.statistics.objects_forwarded += 1
+
+    # -------------------------------------------------------------------- fetch
+    def _handle_downstream_fetch(
+        self,
+        session: MoqtSession,
+        message: Fetch,
+        full_track_name: FullTrackName | None,
+    ) -> FetchResult | None:
+        if full_track_name is None:
+            return FetchResult(
+                ok=False,
+                error_code=FetchErrorCode.TRACK_DOES_NOT_EXIST,
+                reason="fetch without a resolvable track name",
+            )
+        track = self._track_for(full_track_name)
+        if len(track.cache):
+            self.statistics.fetches_served_from_cache += 1
+            objects = self._cached_objects_for(track, message)
+            return FetchResult(ok=True, objects=objects, largest=track.cache.largest)
+        # Cache miss: forward the fetch upstream and answer when it completes.
+        self.statistics.fetches_forwarded_upstream += 1
+        upstream = self._ensure_upstream_session()
+
+        def on_complete(fetch_request) -> None:
+            if fetch_request.succeeded:
+                for obj in fetch_request.objects:
+                    track.cache.publish(obj)
+                session.complete_fetch(
+                    message.request_id,
+                    FetchResult(
+                        ok=True, objects=list(fetch_request.objects), largest=track.cache.largest
+                    ),
+                )
+            else:
+                session.complete_fetch(
+                    message.request_id,
+                    FetchResult(
+                        ok=False,
+                        error_code=FetchErrorCode(fetch_request.error_code)
+                        if fetch_request.error_code in FetchErrorCode._value2member_map_
+                        else FetchErrorCode.INTERNAL_ERROR,
+                        reason=fetch_request.error_reason,
+                    ),
+                )
+
+        start = Location(message.start_group, message.start_object)
+        end = Location(message.end_group, message.end_object)
+        if message.fetch_type != FetchType.STANDALONE or end == Location(0, 0):
+            # Joining fetches (or open ranges) map onto "everything so far".
+            start = Location(0, 0)
+            end = Location((1 << 40), 0)
+        upstream.fetch(full_track_name, start, end, on_complete=on_complete)
+        return None
+
+    def _cached_objects_for(self, track: RelayTrack, message: Fetch) -> list[MoqtObject]:
+        if message.fetch_type == FetchType.STANDALONE:
+            start = Location(message.start_group, message.start_object)
+            end = Location(message.end_group, message.end_object)
+            if end == Location(0, 0):
+                end = None
+            return track.cache.objects_in_range(start, end)
+        # Joining fetch: return the most recent ``joining_start`` groups.
+        count = max(1, message.joining_start)
+        return track.cache.latest_objects(count)
+
+
+class _RelayDelegate:
+    """Publisher delegate adapter binding relay logic to a downstream session."""
+
+    def __init__(self, relay: MoqtRelay) -> None:
+        self._relay = relay
+
+    def handle_subscribe(self, session: MoqtSession, message: Subscribe) -> SubscribeResult | None:
+        return self._relay._handle_downstream_subscribe(session, message)
+
+    def handle_fetch(
+        self, session: MoqtSession, message: Fetch, full_track_name: FullTrackName | None
+    ) -> FetchResult | None:
+        return self._relay._handle_downstream_fetch(session, message, full_track_name)

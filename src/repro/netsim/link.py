@@ -1,0 +1,150 @@
+"""Point-to-point links with delay, bandwidth and loss.
+
+A :class:`Link` models one direction of a point-to-point connection between
+two hosts.  Datagrams entering the link experience:
+
+* serialisation delay (``size / bandwidth``) when a bandwidth is configured,
+* a fixed propagation delay (``delay`` seconds, one way),
+* independent random loss with probability ``loss_rate``.
+
+Links keep simple counters (datagrams/bytes carried and dropped) that the
+traffic experiments read back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.netsim.packet import Datagram
+from repro.netsim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Configuration of one direction of a link.
+
+    Attributes
+    ----------
+    delay:
+        One-way propagation delay in seconds.
+    bandwidth:
+        Bandwidth in bits per second; ``None`` means infinite (no
+        serialisation delay).
+    loss_rate:
+        Independent per-datagram drop probability in ``[0, 1)``.
+    """
+
+    delay: float = 0.010
+    bandwidth: float | None = None
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"delay must be non-negative: {self.delay}")
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive: {self.bandwidth}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1): {self.loss_rate}")
+
+
+@dataclass
+class LinkStatistics:
+    """Counters accumulated by a link."""
+
+    datagrams_sent: int = 0
+    datagrams_delivered: int = 0
+    datagrams_dropped: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Return the counters as a plain dictionary."""
+        return {
+            "datagrams_sent": self.datagrams_sent,
+            "datagrams_delivered": self.datagrams_delivered,
+            "datagrams_dropped": self.datagrams_dropped,
+            "bytes_sent": self.bytes_sent,
+            "bytes_delivered": self.bytes_delivered,
+        }
+
+
+class Link:
+    """One direction of a point-to-point link.
+
+    Parameters
+    ----------
+    simulator:
+        The owning simulator (provides the clock and randomness).
+    config:
+        Delay / bandwidth / loss parameters.
+    deliver:
+        Callback invoked with each datagram that survives the link, after the
+        configured delays.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        config: LinkConfig,
+        deliver: Callable[[Datagram], None],
+    ) -> None:
+        self._simulator = simulator
+        self._config = config
+        self._deliver = deliver
+        self._busy_until = 0.0
+        self.statistics = LinkStatistics()
+
+    @property
+    def config(self) -> LinkConfig:
+        """The link configuration."""
+        return self._config
+
+    def transmit(self, datagram: Datagram) -> None:
+        """Send a datagram across the link.
+
+        Loss is decided at enqueue time; surviving datagrams are delivered
+        after serialisation plus propagation delay.  Serialisation is modelled
+        as a FIFO: a datagram cannot start transmitting before the previous
+        one has finished.
+        """
+        self.statistics.datagrams_sent += 1
+        self.statistics.bytes_sent += datagram.size
+        if self._config.loss_rate > 0.0:
+            if self._simulator.rng.random() < self._config.loss_rate:
+                self.statistics.datagrams_dropped += 1
+                return
+        start = max(self._simulator.now, self._busy_until)
+        if self._config.bandwidth is not None:
+            serialisation = datagram.size * 8 / self._config.bandwidth
+        else:
+            serialisation = 0.0
+        self._busy_until = start + serialisation
+        arrival = self._busy_until + self._config.delay
+        self._simulator.call_at(arrival, lambda: self._arrive(datagram))
+
+    def _arrive(self, datagram: Datagram) -> None:
+        self.statistics.datagrams_delivered += 1
+        self.statistics.bytes_delivered += datagram.size
+        self._deliver(datagram)
+
+
+@dataclass
+class LinkPair:
+    """Both directions of a bidirectional link between two hosts."""
+
+    forward: Link
+    backward: Link
+
+    def statistics(self) -> dict[str, LinkStatistics]:
+        """Per-direction statistics."""
+        return {"forward": self.forward.statistics, "backward": self.backward.statistics}
+
+
+def symmetric_config(rtt: float, **kwargs: object) -> LinkConfig:
+    """Build a :class:`LinkConfig` whose one-way delay is half of ``rtt``.
+
+    Convenience used by experiments that are parameterised in terms of
+    round-trip time.
+    """
+    return LinkConfig(delay=rtt / 2.0, **kwargs)  # type: ignore[arg-type]

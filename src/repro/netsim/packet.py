@@ -1,0 +1,67 @@
+"""Datagrams and addresses exchanged through the simulated network.
+
+The simulator models an idealised IP/UDP layer: endpoints are identified by a
+host address (a string such as ``"10.0.0.1"`` or a symbolic name) and a
+numeric port, and payloads are opaque byte strings.  Higher layers (classic
+DNS, QUIC) build their own framing inside the payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """A (host, port) endpoint address in the simulated network."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.host}:{self.port}"
+
+
+@dataclass
+class Datagram:
+    """A single datagram in flight between two addresses.
+
+    Attributes
+    ----------
+    source / destination:
+        Endpoint addresses.
+    payload:
+        Opaque application bytes.
+    protocol:
+        A label used only for tracing and statistics (e.g. ``"udp-dns"``,
+        ``"quic"``).
+    metadata:
+        Free-form per-datagram annotations used by traces and tests.
+    """
+
+    source: Address
+    destination: Address
+    payload: bytes
+    protocol: str = "udp"
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Size of the payload in bytes (headers are not modelled)."""
+        return len(self.payload)
+
+    def reply(self, payload: bytes, protocol: str | None = None) -> "Datagram":
+        """Build a datagram going back from destination to source."""
+        return Datagram(
+            source=self.destination,
+            destination=self.source,
+            payload=payload,
+            protocol=protocol if protocol is not None else self.protocol,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Datagram({self.source}->{self.destination}, "
+            f"{self.size}B, proto={self.protocol})"
+        )

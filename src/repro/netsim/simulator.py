@@ -1,0 +1,239 @@
+"""Virtual clock and event scheduler for the discrete-event simulator.
+
+The :class:`Simulator` owns the virtual time and a priority queue of pending
+events.  Protocol code never sleeps; it schedules callbacks with
+:meth:`Simulator.call_later` or :meth:`Simulator.call_at` and the simulator
+advances the clock to the next event when :meth:`Simulator.run` is called.
+
+Determinism: events scheduled for the same instant fire in the order in which
+they were scheduled (FIFO tie-breaking via a monotonically increasing sequence
+number), and all randomness in the simulator is drawn from an explicitly
+seeded :class:`random.Random` owned by the simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class SimulationError(Exception):
+    """Raised for invalid interactions with the simulator."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, sequence)`` so that simultaneous events run
+    in scheduling order.  Cancelled events stay in the heap but are skipped
+    when popped.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it will not run when its time comes."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Discrete-event simulator with a virtual clock.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned random number generator.  All protocol
+        components must use :attr:`rng` (never the global ``random`` module)
+        so that runs are reproducible.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._sequence = 0
+        self._queue: list[Event] = []
+        self._running = False
+        self.rng = random.Random(seed)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run at absolute virtual time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {when} < {self._now}"
+            )
+        event = Event(time=when, sequence=self._sequence, callback=callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, callback)
+
+    def call_soon(self, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run at the current virtual time."""
+        return self.call_at(self._now, callback)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run events until the queue drains or a bound is hit.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would occur strictly after this time.
+            The clock is advanced to ``until`` when provided.
+        max_events:
+            Safety bound on the number of events executed.
+
+        Returns
+        -------
+        int
+            The number of events executed.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = max(self._now, event.time)
+                event.callback()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return executed
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Run until no events remain (bounded by ``max_events``)."""
+        return self.run(max_events=max_events)
+
+    def advance(self, delta: float) -> int:
+        """Advance the clock by ``delta`` seconds, running due events."""
+        if delta < 0:
+            raise SimulationError(f"cannot advance by negative delta: {delta}")
+        return self.run(until=self._now + delta)
+
+
+class Timer:
+    """A restartable one-shot timer bound to a :class:`Simulator`.
+
+    Protocol components use timers for idle timeouts, retransmissions and
+    periodic refresh.  A timer may be (re)started, stopped and queried; the
+    callback fires once per start unless restarted.
+    """
+
+    def __init__(self, simulator: Simulator, callback: Callable[[], None]) -> None:
+        self._simulator = simulator
+        self._callback = callback
+        self._event: Event | None = None
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the timer is armed and has not yet fired."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def deadline(self) -> float | None:
+        """Absolute time at which the timer will fire, if armed."""
+        if self.is_running and self._event is not None:
+            return self._event.time
+        return None
+
+    def start(self, delay: float) -> None:
+        """Arm (or re-arm) the timer to fire ``delay`` seconds from now."""
+        self.stop()
+        self._event = self._simulator.call_later(delay, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer if it is running."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class PeriodicTask:
+    """Repeatedly invokes a callback at a fixed virtual-time interval."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        interval: float,
+        callback: Callable[[], None],
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive: {interval}")
+        self._simulator = simulator
+        self._interval = interval
+        self._callback = callback
+        self._event: Event | None = None
+        self._stopped = True
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the periodic task is active."""
+        return not self._stopped
+
+    def start(self, initial_delay: float | None = None) -> None:
+        """Start firing; the first invocation happens after ``initial_delay``."""
+        delay = self._interval if initial_delay is None else initial_delay
+        self._stopped = False
+        self._event = self._simulator.call_later(delay, self._tick)
+
+    def stop(self) -> None:
+        """Stop firing."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._event = self._simulator.call_later(self._interval, self._tick)
+
+
+def format_time(seconds: float) -> str:
+    """Render a virtual timestamp as a human-readable string.
+
+    >>> format_time(0.01)
+    '10.000ms'
+    >>> format_time(12.5)
+    '12.500s'
+    """
+    if seconds < 1.0:
+        return f"{seconds * 1000:.3f}ms"
+    return f"{seconds:.3f}s"

@@ -1,0 +1,149 @@
+"""Small statistics helpers shared by experiments and analysis modules.
+
+Only plain-Python implementations are used so that the statistics behave
+identically regardless of the numerical backend; numpy is reserved for the
+heavier measurement-study analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+class Counter:
+    """A named group of integer counters."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, int] = {}
+
+    def increment(self, name: str, amount: int = 1) -> int:
+        """Add ``amount`` to the counter and return the new value."""
+        self._values[name] = self._values.get(name, 0) + amount
+        return self._values[name]
+
+    def get(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        return self._values.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot of all counters."""
+        return dict(self._values)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._values.clear()
+
+
+@dataclass
+class SummaryStatistics:
+    """Streaming summary of a sample: count, mean, min/max and percentiles.
+
+    Samples are retained so exact percentiles can be computed; the sample
+    sizes in this repository (thousands of values) make that affordable.
+    """
+
+    samples: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        """Add a sample."""
+        self.samples.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add several samples."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        """Number of samples."""
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest sample (0.0 when empty)."""
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample (0.0 when empty)."""
+        return max(self.samples) if self.samples else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation (0.0 for fewer than two samples)."""
+        if len(self.samples) < 2:
+            return 0.0
+        mean = self.mean
+        variance = sum((x - mean) ** 2 for x in self.samples) / len(self.samples)
+        return math.sqrt(variance)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0 <= q <= 100) with linear interpolation."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q}")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        weight = rank - low
+        return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+    @property
+    def median(self) -> float:
+        """The 50th percentile."""
+        return self.percentile(50.0)
+
+    def summary(self) -> dict[str, float]:
+        """A dictionary of the common summary values."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.minimum,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.maximum,
+        }
+
+
+def cumulative_distribution(samples: Iterable[float]) -> list[tuple[float, float]]:
+    """Empirical CDF as a list of ``(value, fraction <= value)`` points."""
+    ordered = sorted(samples)
+    if not ordered:
+        return []
+    total = len(ordered)
+    points: list[tuple[float, float]] = []
+    for index, value in enumerate(ordered, start=1):
+        if points and points[-1][0] == value:
+            points[-1] = (value, index / total)
+        else:
+            points.append((value, index / total))
+    return points
+
+
+def histogram(samples: Iterable[float], bins: Iterable[float]) -> dict[float, int]:
+    """Count samples equal to each bin value (exact matching).
+
+    The TTL experiment uses this for clustered TTL values; it is not a
+    range-based histogram.
+    """
+    counts = {bin_value: 0 for bin_value in bins}
+    for sample in samples:
+        if sample in counts:
+            counts[sample] += 1
+    return counts

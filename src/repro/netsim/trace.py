@@ -1,0 +1,109 @@
+"""Event tracing for simulations.
+
+Every experiment records protocol-level events (datagram sent, subscription
+established, record updated, ...) through a :class:`TraceRecorder`.  Traces
+are kept in memory as :class:`TraceEvent` entries and can be filtered,
+counted and rendered as message-sequence text — the latter is how the Fig. 2
+lookup-sequence experiment prints its output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.netsim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single trace entry."""
+
+    time: float
+    kind: str
+    attributes: tuple[tuple[str, Any], ...]
+
+    def attribute(self, key: str, default: Any = None) -> Any:
+        """Look up an attribute by key."""
+        for name, value in self.attributes:
+            if name == key:
+                return value
+        return default
+
+    def as_dict(self) -> dict[str, Any]:
+        """Return ``{"time": ..., "kind": ..., **attributes}``."""
+        result: dict[str, Any] = {"time": self.time, "kind": self.kind}
+        result.update(dict(self.attributes))
+        return result
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` entries during a simulation run."""
+
+    def __init__(self, simulator: Simulator) -> None:
+        self._simulator = simulator
+        self._events: list[TraceEvent] = []
+        self._listeners: list[Callable[[TraceEvent], None]] = []
+
+    def record(self, kind: str, **attributes: Any) -> TraceEvent:
+        """Append an event timestamped at the current virtual time."""
+        event = TraceEvent(
+            time=self._simulator.now,
+            kind=kind,
+            attributes=tuple(sorted(attributes.items())),
+        )
+        self._events.append(event)
+        for listener in self._listeners:
+            listener(event)
+        return event
+
+    def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Register a callback invoked for every future event."""
+        self._listeners.append(listener)
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """All events, optionally filtered by kind."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def count(self, kind: str | None = None) -> int:
+        """Number of events of the given kind (or all events)."""
+        return len(self.events(kind))
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()
+
+    def filter(self, predicate: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
+        """Events matching an arbitrary predicate."""
+        return [event for event in self._events if predicate(event)]
+
+    def kinds(self) -> list[str]:
+        """Distinct event kinds in order of first occurrence."""
+        seen: list[str] = []
+        for event in self._events:
+            if event.kind not in seen:
+                seen.append(event.kind)
+        return seen
+
+
+def format_sequence(
+    events: Iterable[TraceEvent],
+    columns: tuple[str, ...] = ("source", "destination", "detail"),
+) -> str:
+    """Render events as a textual message-sequence chart.
+
+    Each line shows the timestamp, the event kind and selected attributes;
+    used by the Fig. 2 experiment and the quickstart example to show the
+    recursive lookup sequence.
+    """
+    lines = []
+    for event in events:
+        parts = [f"{event.time * 1000:9.3f}ms", f"{event.kind:<24}"]
+        for column in columns:
+            value = event.attribute(column)
+            if value is not None:
+                parts.append(f"{column}={value}")
+        lines.append("  ".join(parts))
+    return "\n".join(lines)

@@ -1,0 +1,495 @@
+"""The QUIC connection state machine.
+
+A :class:`QuicConnection` reproduces the parts of QUIC that the paper's
+latency and state-management arguments rest on:
+
+* a fresh connection costs one round trip of handshake (CRYPTO in INITIAL
+  packets) before either side may send application data;
+* with a stored session ticket and 0-RTT enabled, the client may send
+  application data in its very first flight (ZERO_RTT packets), so a lookup
+  request reaches the server after a single one-way delay;
+* an established connection can carry new streams with no additional round
+  trips, which is what makes connection reuse (§5.2, first optimisation)
+  effective;
+* connections must be kept alive (PING keepalives) or they die silently after
+  the idle timeout, forcing a full re-establishment (§5.1);
+* loss is repaired by retransmission after a probe timeout, so object
+  delivery over streams is reliable even on lossy links.
+
+The implementation is callback-based and driven entirely by the discrete-
+event simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.netsim.packet import Address, Datagram
+from repro.netsim.simulator import Simulator, Timer
+from repro.quic.errors import QuicConnectionError, TransportErrorCode
+from repro.quic.frames import (
+    AckFrame,
+    ConnectionCloseFrame,
+    CryptoFrame,
+    DatagramFrame,
+    Frame,
+    HandshakeDoneFrame,
+    PingFrame,
+    StreamFrame,
+)
+from repro.quic.packet import Packet, PacketType
+from repro.quic.stream import (
+    QuicStream,
+    StreamDirection,
+    make_stream_id,
+    stream_initiator_is_client,
+)
+from repro.quic.tls import (
+    AlpnMismatchError,
+    ClientHello,
+    ServerHello,
+    ServerTlsContext,
+    SessionTicket,
+    SessionTicketStore,
+)
+
+PROTOCOL_LABEL = "quic"
+
+
+@dataclass
+class ConnectionConfig:
+    """Tunable parameters of a connection.
+
+    Attributes
+    ----------
+    alpn_protocols:
+        Application protocols offered (client) or supported (server).
+    idle_timeout:
+        Seconds of silence after which the connection is dropped
+        (QUIC ``max_idle_timeout``).
+    keepalive_interval:
+        When set, PING frames are sent at this interval to keep the
+        connection (and NAT bindings) alive; §5.1 discusses this trade-off.
+    enable_0rtt:
+        Whether the client attempts 0-RTT resumption when it has a ticket.
+    initial_rtt:
+        Seed for the retransmission timer before an RTT sample exists.
+    """
+
+    alpn_protocols: tuple[str, ...] = ("moq-00",)
+    idle_timeout: float = 30.0
+    keepalive_interval: float | None = None
+    enable_0rtt: bool = True
+    initial_rtt: float = 0.1
+
+
+@dataclass
+class ConnectionStatistics:
+    """Packet/byte counters of one connection."""
+
+    packets_sent: int = 0
+    packets_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    retransmissions: int = 0
+    datagrams_sent: int = 0
+    datagrams_received: int = 0
+    pings_sent: int = 0
+
+
+class QuicConnection:
+    """One end of a QUIC connection.
+
+    Instances are created by :class:`repro.quic.endpoint.QuicEndpoint` — via
+    :meth:`~repro.quic.endpoint.QuicEndpoint.connect` on the client and
+    automatically upon the first INITIAL packet on the server.
+    """
+
+    def __init__(
+        self,
+        *,
+        simulator: Simulator,
+        send_datagram: Callable[[bytes, Address], None],
+        local_address: Address,
+        peer_address: Address,
+        connection_id: int,
+        is_client: bool,
+        config: ConnectionConfig,
+        server_name: str = "",
+        ticket_store: SessionTicketStore | None = None,
+        server_tls: ServerTlsContext | None = None,
+    ) -> None:
+        self._simulator = simulator
+        self._send = send_datagram
+        self.local_address = local_address
+        self.peer_address = peer_address
+        self.connection_id = connection_id
+        self.is_client = is_client
+        self.config = config
+        self.server_name = server_name or peer_address.host
+        self._ticket_store = ticket_store
+        self._server_tls = server_tls
+        self.statistics = ConnectionStatistics()
+
+        # Handshake state.
+        self.handshake_complete = False
+        self.handshake_started_at: float | None = None
+        self.handshake_completed_at: float | None = None
+        self.negotiated_alpn: str | None = None
+        self.used_0rtt = False
+        self.early_data_accepted = False
+
+        # Application callbacks.
+        self.on_handshake_complete: Callable[["QuicConnection"], None] | None = None
+        self.on_stream_data: Callable[[int, bytes, bool], None] | None = None
+        self.on_datagram: Callable[[bytes], None] | None = None
+        self.on_closed: Callable[[int, str], None] | None = None
+
+        # Streams.
+        self._streams: dict[int, QuicStream] = {}
+        self._next_stream_sequence = {
+            StreamDirection.BIDIRECTIONAL: 0,
+            StreamDirection.UNIDIRECTIONAL: 0,
+        }
+
+        # Packetisation and loss recovery.
+        self._next_packet_number = 0
+        self._largest_acked = -1
+        self._unacked: dict[int, Packet] = {}
+        self._queued_app_frames: list[Frame] = []
+        self._smoothed_rtt = config.initial_rtt
+        self._sent_times: dict[int, float] = {}
+        self._consecutive_loss_timeouts = 0
+        self._loss_timer = Timer(simulator, self._on_loss_timeout)
+        self._idle_timer = Timer(simulator, self._on_idle_timeout)
+        self._keepalive_timer = Timer(simulator, self._on_keepalive)
+        self.closed = False
+        self.close_reason = ""
+
+        self._idle_timer.start(config.idle_timeout)
+        if config.keepalive_interval is not None:
+            self._keepalive_timer.start(config.keepalive_interval)
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def smoothed_rtt(self) -> float:
+        """The current RTT estimate."""
+        return self._smoothed_rtt
+
+    @property
+    def handshake_rtts(self) -> float:
+        """Round trips spent on connection establishment (0.0 for 0-RTT data).
+
+        This is the quantity the §5.2 query-latency experiment reads: a full
+        handshake contributes one RTT before the first request can be sent,
+        0-RTT contributes none.
+        """
+        if self.used_0rtt and self.early_data_accepted:
+            return 0.0
+        return 1.0
+
+    # -------------------------------------------------------------- handshake
+    def start_handshake(self) -> None:
+        """Client only: send the first flight (ClientHello, maybe 0-RTT)."""
+        if not self.is_client:
+            raise QuicConnectionError(
+                TransportErrorCode.PROTOCOL_VIOLATION, "server cannot start handshake"
+            )
+        self.handshake_started_at = self._simulator.now
+        ticket = None
+        if self._ticket_store is not None and self.config.enable_0rtt:
+            ticket = self._ticket_store.get(self.server_name, self._simulator.now)
+        offers_early = ticket is not None
+        hello = ClientHello(
+            server_name=self.server_name,
+            alpn_protocols=self.config.alpn_protocols,
+            session_ticket=ticket,
+            offers_early_data=offers_early,
+        )
+        if offers_early:
+            # Optimistically enable application data in the first flight.
+            self.used_0rtt = True
+            self.early_data_accepted = True
+        self._send_packet(PacketType.INITIAL, [CryptoFrame(hello.to_bytes())])
+
+    def _process_client_hello(self, frame: CryptoFrame) -> None:
+        assert self._server_tls is not None, "server connection lacks a TLS context"
+        self.handshake_started_at = self._simulator.now
+        hello = ClientHello.from_bytes(frame.data)
+        try:
+            server_hello = self._server_tls.process_client_hello(hello)
+        except AlpnMismatchError as error:
+            self.close(TransportErrorCode.CONNECTION_REFUSED, str(error))
+            return
+        self.negotiated_alpn = server_hello.alpn
+        self.early_data_accepted = server_hello.accepts_early_data
+        if hello.offers_early_data and not server_hello.accepts_early_data:
+            # Rejected early data: the client will have to retransmit it as
+            # 1-RTT data; we simply never deliver the 0-RTT packets.
+            pass
+        self.handshake_complete = True
+        self.handshake_completed_at = self._simulator.now
+        self._send_packet(
+            PacketType.HANDSHAKE,
+            [CryptoFrame(server_hello.to_bytes()), HandshakeDoneFrame()],
+        )
+        if self.on_handshake_complete is not None:
+            self.on_handshake_complete(self)
+        self._flush_queued_app_frames()
+
+    def _process_server_hello(self, frame: CryptoFrame) -> None:
+        server_hello = ServerHello.from_bytes(frame.data)
+        self.negotiated_alpn = server_hello.alpn
+        if self.used_0rtt and not server_hello.accepts_early_data:
+            self.early_data_accepted = False
+            # 0-RTT was rejected: requeue everything that was sent early.
+            self._requeue_zero_rtt()
+        if self._ticket_store is not None:
+            self._ticket_store.put(
+                SessionTicket(
+                    server_name=self.server_name,
+                    alpn=server_hello.alpn,
+                    issued_at=self._simulator.now,
+                    ticket_id=server_hello.new_ticket_id,
+                )
+            )
+        self.handshake_complete = True
+        self.handshake_completed_at = self._simulator.now
+        if self.on_handshake_complete is not None:
+            self.on_handshake_complete(self)
+        self._flush_queued_app_frames()
+
+    def _requeue_zero_rtt(self) -> None:
+        for packet_number, packet in sorted(self._unacked.items()):
+            if packet.packet_type == PacketType.ZERO_RTT:
+                self._queued_app_frames.extend(packet.frames)
+                del self._unacked[packet_number]
+                self._sent_times.pop(packet_number, None)
+
+    # ---------------------------------------------------------------- streams
+    def open_stream(self, direction: StreamDirection = StreamDirection.BIDIRECTIONAL) -> QuicStream:
+        """Open a new locally initiated stream."""
+        sequence = self._next_stream_sequence[direction]
+        self._next_stream_sequence[direction] += 1
+        stream_id = make_stream_id(sequence, self.is_client, direction)
+        stream = QuicStream(stream_id)
+        self._streams[stream_id] = stream
+        return stream
+
+    def get_or_create_stream(self, stream_id: int) -> QuicStream:
+        """Look up a stream, creating state for peer-initiated streams."""
+        stream = self._streams.get(stream_id)
+        if stream is None:
+            stream = QuicStream(stream_id)
+            self._streams[stream_id] = stream
+        return stream
+
+    def streams(self) -> dict[int, QuicStream]:
+        """All streams keyed by ID."""
+        return dict(self._streams)
+
+    def send_stream_data(self, stream: QuicStream, data: bytes, fin: bool = False) -> None:
+        """Write data on a stream and transmit it as soon as allowed."""
+        if self.closed:
+            raise QuicConnectionError(TransportErrorCode.PROTOCOL_VIOLATION, "connection closed")
+        stream.write(data, fin)
+        frames = [
+            StreamFrame(stream_id=stream.stream_id, offset=offset, data=chunk, fin=chunk_fin)
+            for offset, chunk, chunk_fin in stream.take_pending()
+        ]
+        self._send_app_frames(frames)
+
+    def send_datagram_frame(self, data: bytes) -> None:
+        """Send unreliable application data in a DATAGRAM frame."""
+        self.statistics.datagrams_sent += 1
+        self._send_app_frames([DatagramFrame(bytes(data))], reliable=False)
+
+    # ------------------------------------------------------------ packetising
+    def _can_send_app_data(self) -> bool:
+        if self.handshake_complete:
+            return True
+        return self.is_client and self.used_0rtt and self.early_data_accepted
+
+    def _app_packet_type(self) -> PacketType:
+        if self.handshake_complete:
+            return PacketType.ONE_RTT
+        return PacketType.ZERO_RTT
+
+    def _send_app_frames(self, frames: list[Frame], reliable: bool = True) -> None:
+        if not frames:
+            return
+        if not self._can_send_app_data():
+            self._queued_app_frames.extend(frames)
+            return
+        self._send_packet(self._app_packet_type(), frames, reliable=reliable)
+
+    def _flush_queued_app_frames(self) -> None:
+        if not self._queued_app_frames or not self._can_send_app_data():
+            return
+        frames, self._queued_app_frames = self._queued_app_frames, []
+        self._send_packet(self._app_packet_type(), frames)
+
+    def _send_packet(
+        self, packet_type: PacketType, frames: list[Frame], reliable: bool = True
+    ) -> None:
+        packet = Packet(
+            packet_type=packet_type,
+            connection_id=self.connection_id,
+            packet_number=self._next_packet_number,
+            frames=tuple(frames),
+        )
+        self._next_packet_number += 1
+        if reliable and packet.is_ack_eliciting:
+            self._unacked[packet.packet_number] = packet
+            self._sent_times[packet.packet_number] = self._simulator.now
+            if not self._loss_timer.is_running:
+                self._loss_timer.start(self._probe_timeout())
+        self._transmit(packet)
+
+    def _transmit(self, packet: Packet) -> None:
+        payload = packet.encode()
+        self.statistics.packets_sent += 1
+        self.statistics.bytes_sent += len(payload)
+        self._send(payload, self.peer_address)
+        self._restart_idle_timer()
+
+    def _probe_timeout(self) -> float:
+        return max(2.5 * self._smoothed_rtt, 0.02)
+
+    #: Number of consecutive probe timeouts after which the peer is declared
+    #: unreachable and the connection is abandoned (akin to a handshake /
+    #: PTO give-up in real stacks; keeps unreachable-server probes bounded).
+    MAX_CONSECUTIVE_LOSS_TIMEOUTS = 8
+
+    def _on_loss_timeout(self) -> None:
+        if self.closed or not self._unacked:
+            return
+        self._consecutive_loss_timeouts += 1
+        if self._consecutive_loss_timeouts > self.MAX_CONSECUTIVE_LOSS_TIMEOUTS:
+            self._handle_close(
+                int(TransportErrorCode.INTERNAL_ERROR), "peer unreachable", send_close=False
+            )
+            return
+        self.statistics.retransmissions += len(self._unacked)
+        for packet_number in sorted(self._unacked):
+            packet = self._unacked.pop(packet_number)
+            self._sent_times.pop(packet_number, None)
+            # Re-send the same frames in a new packet (new packet number).
+            self._send_packet(packet.packet_type, list(packet.frames))
+        self._loss_timer.start(2.0 * self._probe_timeout())
+
+    # ----------------------------------------------------------------- receive
+    def datagram_received(self, payload: bytes) -> None:
+        """Process one incoming UDP payload carrying a QUIC packet."""
+        if self.closed:
+            return
+        self.statistics.packets_received += 1
+        self.statistics.bytes_received += len(payload)
+        self._restart_idle_timer()
+        packet = Packet.decode(payload)
+        ack_needed = packet.is_ack_eliciting
+        for frame in packet.frames:
+            self._process_frame(packet, frame)
+        if self.closed:
+            return
+        if ack_needed:
+            self._send_ack(packet.packet_number)
+
+    def _send_ack(self, packet_number: int) -> None:
+        ack = Packet(
+            packet_type=PacketType.ONE_RTT if self.handshake_complete else PacketType.INITIAL,
+            connection_id=self.connection_id,
+            packet_number=self._next_packet_number,
+            frames=(AckFrame(largest=packet_number),),
+        )
+        self._next_packet_number += 1
+        self._transmit(ack)
+
+    def _process_frame(self, packet: Packet, frame: Frame) -> None:
+        if isinstance(frame, CryptoFrame):
+            if self.is_client:
+                self._process_server_hello(frame)
+            else:
+                self._process_client_hello(frame)
+        elif isinstance(frame, AckFrame):
+            self._process_ack(frame)
+        elif isinstance(frame, StreamFrame):
+            if not self.is_client and packet.packet_type == PacketType.ZERO_RTT:
+                if not self.early_data_accepted and self.handshake_complete:
+                    return  # rejected early data is dropped
+            stream = self.get_or_create_stream(frame.stream_id)
+            if stream._on_data is None and self.on_stream_data is not None:
+                stream.set_data_callback(self.on_stream_data)
+            stream.receive(frame.offset, frame.data, frame.fin)
+        elif isinstance(frame, DatagramFrame):
+            self.statistics.datagrams_received += 1
+            if self.on_datagram is not None:
+                self.on_datagram(frame.data)
+        elif isinstance(frame, ConnectionCloseFrame):
+            self._handle_close(frame.error_code, frame.reason, send_close=False)
+        elif isinstance(frame, HandshakeDoneFrame):
+            pass  # informational
+        elif isinstance(frame, PingFrame):
+            pass  # the ACK we send suffices
+        # PADDING and unknown-but-parsed frames are ignored.
+
+    def _process_ack(self, frame: AckFrame) -> None:
+        self._consecutive_loss_timeouts = 0
+        self._largest_acked = max(self._largest_acked, frame.largest)
+        acked = [pn for pn in self._unacked if pn <= frame.largest]
+        for packet_number in acked:
+            sent_at = self._sent_times.pop(packet_number, None)
+            if sent_at is not None:
+                sample = self._simulator.now - sent_at
+                self._smoothed_rtt = 0.875 * self._smoothed_rtt + 0.125 * sample
+            del self._unacked[packet_number]
+        if not self._unacked:
+            self._loss_timer.stop()
+        else:
+            self._loss_timer.start(self._probe_timeout())
+
+    # ------------------------------------------------------------------ timers
+    def _restart_idle_timer(self) -> None:
+        if not self.closed:
+            self._idle_timer.start(self.config.idle_timeout)
+
+    def _on_idle_timeout(self) -> None:
+        self._handle_close(int(TransportErrorCode.NO_ERROR), "idle timeout", send_close=False)
+
+    def _on_keepalive(self) -> None:
+        if self.closed:
+            return
+        self.statistics.pings_sent += 1
+        self._send_packet(
+            PacketType.ONE_RTT if self.handshake_complete else PacketType.INITIAL,
+            [PingFrame()],
+        )
+        if self.config.keepalive_interval is not None:
+            self._keepalive_timer.start(self.config.keepalive_interval)
+
+    # ------------------------------------------------------------------- close
+    def close(self, code: TransportErrorCode = TransportErrorCode.NO_ERROR, reason: str = "") -> None:
+        """Close the connection, notifying the peer."""
+        if self.closed:
+            return
+        close_packet = Packet(
+            packet_type=PacketType.ONE_RTT if self.handshake_complete else PacketType.INITIAL,
+            connection_id=self.connection_id,
+            packet_number=self._next_packet_number,
+            frames=(ConnectionCloseFrame(error_code=int(code), reason=reason),),
+        )
+        self._next_packet_number += 1
+        self._transmit(close_packet)
+        self._handle_close(int(code), reason, send_close=False)
+
+    def _handle_close(self, code: int, reason: str, send_close: bool) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.close_reason = reason
+        self._loss_timer.stop()
+        self._idle_timer.stop()
+        self._keepalive_timer.stop()
+        if self.on_closed is not None:
+            self.on_closed(code, reason)

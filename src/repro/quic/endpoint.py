@@ -1,0 +1,164 @@
+"""QUIC endpoints: the glue between connections and the simulated network.
+
+An endpoint binds to a host port, demultiplexes incoming packets to
+connections by connection ID, creates client connections on
+:meth:`QuicEndpoint.connect` and server connections when an INITIAL packet
+with an unknown connection ID arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.netsim.node import Host
+from repro.netsim.packet import Address, Datagram
+from repro.quic.connection import ConnectionConfig, QuicConnection
+from repro.quic.packet import Packet, PacketType
+from repro.quic.tls import ServerTlsContext, SessionTicketStore
+
+PROTOCOL_LABEL = "quic"
+
+ConnectionHandler = Callable[[QuicConnection], None]
+
+
+class QuicEndpoint:
+    """A UDP socket speaking QUIC on the simulated network.
+
+    Parameters
+    ----------
+    host:
+        The simulated host.
+    port:
+        The local port; defaults to an ephemeral port (client endpoints).
+    server_config:
+        When given, the endpoint accepts incoming connections using this
+        configuration.
+    server_tls:
+        Server-side ALPN/0-RTT policy (required to accept connections).
+    on_connection:
+        Callback invoked with every newly accepted server connection, before
+        any of its application callbacks fire — the MoQT layer uses this to
+        attach a session to the connection.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        port: int | None = None,
+        server_config: ConnectionConfig | None = None,
+        server_tls: ServerTlsContext | None = None,
+        on_connection: ConnectionHandler | None = None,
+    ) -> None:
+        self._host = host
+        self._simulator = host.simulator
+        self._server_config = server_config
+        self._server_tls = server_tls
+        self.on_connection = on_connection
+        self.ticket_store = SessionTicketStore()
+        self._connections: dict[int, QuicConnection] = {}
+        self._next_connection_id = 1
+        if port is None:
+            self.address = host.bind_ephemeral(self)
+        else:
+            self.address = host.bind(port, self)
+
+    # ----------------------------------------------------------------- client
+    def connect(
+        self,
+        peer: Address,
+        config: ConnectionConfig | None = None,
+        server_name: str | None = None,
+    ) -> QuicConnection:
+        """Open a client connection and start its handshake immediately."""
+        connection_config = config if config is not None else ConnectionConfig()
+        connection_id = self._allocate_connection_id()
+        connection = QuicConnection(
+            simulator=self._simulator,
+            send_datagram=self._send_payload,
+            local_address=self.address,
+            peer_address=peer,
+            connection_id=connection_id,
+            is_client=True,
+            config=connection_config,
+            server_name=server_name or peer.host,
+            ticket_store=self.ticket_store,
+        )
+        self._connections[connection_id] = connection
+        connection.start_handshake()
+        return connection
+
+    def _allocate_connection_id(self) -> int:
+        # Connection IDs only need to be unique per endpoint pair in the
+        # simulation; embedding a random component avoids collisions between
+        # client- and server-chosen IDs on the same host.
+        connection_id = (self._next_connection_id << 16) | self._simulator.rng.randrange(1 << 16)
+        self._next_connection_id += 1
+        return connection_id
+
+    # ----------------------------------------------------------------- server
+    @property
+    def is_server(self) -> bool:
+        """Whether this endpoint accepts incoming connections."""
+        return self._server_tls is not None
+
+    def _accept(self, packet: Packet, source: Address) -> QuicConnection | None:
+        if not self.is_server or packet.packet_type not in (
+            PacketType.INITIAL,
+            PacketType.ZERO_RTT,
+        ):
+            return None
+        config = self._server_config if self._server_config is not None else ConnectionConfig()
+        connection = QuicConnection(
+            simulator=self._simulator,
+            send_datagram=self._send_payload,
+            local_address=self.address,
+            peer_address=source,
+            connection_id=packet.connection_id,
+            is_client=False,
+            config=config,
+            server_tls=self._server_tls,
+        )
+        self._connections[packet.connection_id] = connection
+        if self.on_connection is not None:
+            self.on_connection(connection)
+        return connection
+
+    # ------------------------------------------------------------------ wiring
+    def _send_payload(self, payload: bytes, destination: Address) -> None:
+        self._host.send(
+            Datagram(
+                source=self.address,
+                destination=destination,
+                payload=payload,
+                protocol=PROTOCOL_LABEL,
+            )
+        )
+
+    def datagram_received(self, datagram: Datagram) -> None:
+        """Entry point from the host: demultiplex to a connection."""
+        try:
+            packet = Packet.decode(datagram.payload)
+        except Exception:
+            return
+        connection = self._connections.get(packet.connection_id)
+        if connection is None:
+            connection = self._accept(packet, datagram.source)
+            if connection is None:
+                return
+        connection.datagram_received(datagram.payload)
+
+    # --------------------------------------------------------------- lifecycle
+    def connections(self) -> list[QuicConnection]:
+        """All connections this endpoint has seen (including closed ones)."""
+        return list(self._connections.values())
+
+    def open_connections(self) -> list[QuicConnection]:
+        """Connections that have not been closed."""
+        return [connection for connection in self._connections.values() if not connection.closed]
+
+    def close(self) -> None:
+        """Close every connection and release the port."""
+        for connection in list(self._connections.values()):
+            if not connection.closed:
+                connection.close()
+        self._host.unbind(self.address.port)

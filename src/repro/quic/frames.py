@@ -1,0 +1,183 @@
+"""QUIC frames with a byte-exact wire codec.
+
+Only the frames the simulated stack needs are implemented: PADDING, PING,
+ACK, CRYPTO, NEW_TOKEN-style session tickets are folded into CRYPTO payloads,
+STREAM (with offset/length/fin), MAX_DATA-style flow control is omitted (the
+simulation does not model flow-control blocking), DATAGRAM (RFC 9221),
+CONNECTION_CLOSE and HANDSHAKE_DONE.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.quic.varint import VarintReader, VarintWriter
+
+
+class FrameType(enum.IntEnum):
+    """Wire identifiers of the implemented frames."""
+
+    PADDING = 0x00
+    PING = 0x01
+    ACK = 0x02
+    CRYPTO = 0x06
+    STREAM = 0x08  # with offset, length and fin bits encoded separately
+    CONNECTION_CLOSE = 0x1C
+    HANDSHAKE_DONE = 0x1E
+    DATAGRAM = 0x30
+
+
+@dataclass(frozen=True)
+class Frame:
+    """Base class for all frames."""
+
+    def encode(self) -> bytes:
+        """Serialise the frame including its type byte."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PaddingFrame(Frame):
+    """PADDING: a run of zero bytes used to grow Initial packets."""
+
+    length: int = 1
+
+    def encode(self) -> bytes:
+        return bytes(self.length)
+
+
+@dataclass(frozen=True)
+class PingFrame(Frame):
+    """PING: elicits an acknowledgement; used for liveness checks (§5.1)."""
+
+    def encode(self) -> bytes:
+        return bytes([FrameType.PING])
+
+
+@dataclass(frozen=True)
+class AckFrame(Frame):
+    """ACK: acknowledges every packet number up to and including ``largest``."""
+
+    largest: int
+    delay_us: int = 0
+
+    def encode(self) -> bytes:
+        writer = VarintWriter()
+        writer.write_varint(FrameType.ACK)
+        writer.write_varint(self.largest)
+        writer.write_varint(self.delay_us)
+        return writer.getvalue()
+
+
+@dataclass(frozen=True)
+class CryptoFrame(Frame):
+    """CRYPTO: carries the simulated TLS handshake messages."""
+
+    data: bytes
+
+    def encode(self) -> bytes:
+        writer = VarintWriter()
+        writer.write_varint(FrameType.CRYPTO)
+        writer.write_length_prefixed(self.data)
+        return writer.getvalue()
+
+
+@dataclass(frozen=True)
+class StreamFrame(Frame):
+    """STREAM: ordered application data on a stream."""
+
+    stream_id: int
+    offset: int
+    data: bytes
+    fin: bool = False
+
+    def encode(self) -> bytes:
+        writer = VarintWriter()
+        writer.write_varint(FrameType.STREAM)
+        writer.write_varint(self.stream_id)
+        writer.write_varint(self.offset)
+        writer.write_varint(1 if self.fin else 0)
+        writer.write_length_prefixed(self.data)
+        return writer.getvalue()
+
+
+@dataclass(frozen=True)
+class DatagramFrame(Frame):
+    """DATAGRAM (RFC 9221): unreliable application data."""
+
+    data: bytes
+
+    def encode(self) -> bytes:
+        writer = VarintWriter()
+        writer.write_varint(FrameType.DATAGRAM)
+        writer.write_length_prefixed(self.data)
+        return writer.getvalue()
+
+
+@dataclass(frozen=True)
+class ConnectionCloseFrame(Frame):
+    """CONNECTION_CLOSE: terminates the connection."""
+
+    error_code: int
+    reason: str = ""
+
+    def encode(self) -> bytes:
+        writer = VarintWriter()
+        writer.write_varint(FrameType.CONNECTION_CLOSE)
+        writer.write_varint(self.error_code)
+        writer.write_length_prefixed(self.reason.encode("utf-8"))
+        return writer.getvalue()
+
+
+@dataclass(frozen=True)
+class HandshakeDoneFrame(Frame):
+    """HANDSHAKE_DONE: server's confirmation that the handshake completed."""
+
+    def encode(self) -> bytes:
+        return bytes([FrameType.HANDSHAKE_DONE])
+
+
+def encode_frames(frames: list[Frame]) -> bytes:
+    """Concatenate the encodings of several frames."""
+    return b"".join(frame.encode() for frame in frames)
+
+
+def decode_frames(payload: bytes) -> list[Frame]:
+    """Parse a packet payload into frames."""
+    frames: list[Frame] = []
+    reader = VarintReader(payload)
+    while not reader.at_end():
+        frame_type = reader.read_varint()
+        if frame_type == FrameType.PADDING:
+            # A run of padding: swallow consecutive zero bytes.
+            length = 1
+            while not reader.at_end() and payload[reader.offset] == 0:
+                reader.read_uint8()
+                length += 1
+            frames.append(PaddingFrame(length))
+        elif frame_type == FrameType.PING:
+            frames.append(PingFrame())
+        elif frame_type == FrameType.ACK:
+            largest = reader.read_varint()
+            delay = reader.read_varint()
+            frames.append(AckFrame(largest=largest, delay_us=delay))
+        elif frame_type == FrameType.CRYPTO:
+            frames.append(CryptoFrame(reader.read_length_prefixed()))
+        elif frame_type == FrameType.STREAM:
+            stream_id = reader.read_varint()
+            offset = reader.read_varint()
+            fin = reader.read_varint() == 1
+            data = reader.read_length_prefixed()
+            frames.append(StreamFrame(stream_id=stream_id, offset=offset, data=data, fin=fin))
+        elif frame_type == FrameType.DATAGRAM:
+            frames.append(DatagramFrame(reader.read_length_prefixed()))
+        elif frame_type == FrameType.CONNECTION_CLOSE:
+            code = reader.read_varint()
+            reason = reader.read_length_prefixed().decode("utf-8")
+            frames.append(ConnectionCloseFrame(error_code=code, reason=reason))
+        elif frame_type == FrameType.HANDSHAKE_DONE:
+            frames.append(HandshakeDoneFrame())
+        else:
+            raise ValueError(f"unknown frame type: {frame_type:#x}")
+    return frames

@@ -1,0 +1,75 @@
+"""QUIC packets.
+
+The simulated stack distinguishes the packet types that matter for handshake
+timing — INITIAL, HANDSHAKE, ZERO_RTT and ONE_RTT — and encodes each packet
+as a small header (type, connection ID, packet number) followed by its
+frames.  One simulated UDP datagram carries exactly one packet; coalescing is
+not modelled because it does not change round-trip counts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.quic.frames import Frame, decode_frames, encode_frames
+from repro.quic.varint import VarintReader, VarintWriter
+
+
+class PacketType(enum.IntEnum):
+    """Packet number spaces / encryption levels relevant to timing."""
+
+    INITIAL = 0
+    HANDSHAKE = 1
+    ZERO_RTT = 2
+    ONE_RTT = 3
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A QUIC packet: type, connection id, packet number and frames."""
+
+    packet_type: PacketType
+    connection_id: int
+    packet_number: int
+    frames: tuple[Frame, ...] = field(default_factory=tuple)
+
+    def encode(self) -> bytes:
+        """Serialise the packet."""
+        writer = VarintWriter()
+        writer.write_uint8(int(self.packet_type))
+        writer.write_varint(self.connection_id)
+        writer.write_varint(self.packet_number)
+        writer.write_length_prefixed(encode_frames(list(self.frames)))
+        return writer.getvalue()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Packet":
+        """Parse a packet from bytes."""
+        reader = VarintReader(data)
+        packet_type = PacketType(reader.read_uint8())
+        connection_id = reader.read_varint()
+        packet_number = reader.read_varint()
+        payload = reader.read_length_prefixed()
+        return cls(
+            packet_type=packet_type,
+            connection_id=connection_id,
+            packet_number=packet_number,
+            frames=tuple(decode_frames(payload)),
+        )
+
+    @property
+    def is_ack_eliciting(self) -> bool:
+        """Whether the peer must acknowledge this packet."""
+        from repro.quic.frames import AckFrame, PaddingFrame
+
+        return any(
+            not isinstance(frame, (AckFrame, PaddingFrame)) for frame in self.frames
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = ",".join(type(frame).__name__ for frame in self.frames)
+        return (
+            f"Packet({self.packet_type.name} cid={self.connection_id} "
+            f"pn={self.packet_number} [{kinds}])"
+        )

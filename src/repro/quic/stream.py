@@ -1,0 +1,138 @@
+"""QUIC streams: ordered byte streams with a FIN bit.
+
+Stream identifiers follow RFC 9000: the two low bits encode the initiator
+(client/server) and directionality (bidirectional/unidirectional), so client
+bidirectional streams are 0, 4, 8, ... and server unidirectional streams are
+3, 7, 11, ...  MoQT relies on this: the control channel is the first client
+bidirectional stream, while objects are delivered on unidirectional streams
+opened by the publisher.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class StreamDirection(enum.Enum):
+    """Directionality of a stream."""
+
+    BIDIRECTIONAL = "bidi"
+    UNIDIRECTIONAL = "uni"
+
+
+def make_stream_id(sequence: int, is_client: bool, direction: StreamDirection) -> int:
+    """Compose a stream ID from its sequence number, initiator and direction."""
+    stream_id = sequence << 2
+    if not is_client:
+        stream_id |= 0x1
+    if direction is StreamDirection.UNIDIRECTIONAL:
+        stream_id |= 0x2
+    return stream_id
+
+
+def stream_initiator_is_client(stream_id: int) -> bool:
+    """Whether the stream was opened by the client."""
+    return stream_id & 0x1 == 0
+
+
+def stream_is_unidirectional(stream_id: int) -> bool:
+    """Whether the stream is unidirectional."""
+    return stream_id & 0x2 != 0
+
+
+@dataclass
+class _ReceiveBuffer:
+    """Reassembles stream data received possibly out of order."""
+
+    segments: dict[int, bytes] = field(default_factory=dict)
+    delivered: int = 0
+    fin_offset: int | None = None
+
+    def insert(self, offset: int, data: bytes, fin: bool) -> None:
+        if data:
+            self.segments[offset] = data
+        if fin:
+            self.fin_offset = offset + len(data)
+
+    def drain(self) -> tuple[bytes, bool]:
+        """Return newly contiguous data and whether the FIN has been reached."""
+        output = bytearray()
+        while self.delivered in self.segments:
+            chunk = self.segments.pop(self.delivered)
+            output += chunk
+            self.delivered += len(chunk)
+        finished = self.fin_offset is not None and self.delivered >= self.fin_offset
+        return bytes(output), finished
+
+
+class QuicStream:
+    """One stream of a connection.
+
+    The stream exposes a written-data queue consumed by the connection when
+    building packets, and a receive path that reassembles incoming
+    ``STREAM`` frames and hands contiguous data to the registered callback.
+    """
+
+    def __init__(
+        self,
+        stream_id: int,
+        on_data: Callable[[int, bytes, bool], None] | None = None,
+    ) -> None:
+        self.stream_id = stream_id
+        self._send_offset = 0
+        self._pending_send: list[tuple[int, bytes, bool]] = []
+        self._receive = _ReceiveBuffer()
+        self._on_data = on_data
+        self.send_closed = False
+        self.receive_closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    @property
+    def direction(self) -> StreamDirection:
+        """Directionality derived from the stream ID."""
+        if stream_is_unidirectional(self.stream_id):
+            return StreamDirection.UNIDIRECTIONAL
+        return StreamDirection.BIDIRECTIONAL
+
+    def set_data_callback(self, callback: Callable[[int, bytes, bool], None]) -> None:
+        """Install the callback invoked with (stream_id, data, fin)."""
+        self._on_data = callback
+
+    # ------------------------------------------------------------------- send
+    def write(self, data: bytes, fin: bool = False) -> None:
+        """Queue data (and optionally a FIN) for transmission."""
+        if self.send_closed:
+            raise ValueError(f"stream {self.stream_id} send side already closed")
+        self._pending_send.append((self._send_offset, bytes(data), fin))
+        self._send_offset += len(data)
+        self.bytes_sent += len(data)
+        if fin:
+            self.send_closed = True
+
+    def finish(self) -> None:
+        """Close the send side without more data."""
+        self.write(b"", fin=True)
+
+    def take_pending(self) -> list[tuple[int, bytes, bool]]:
+        """Drain the queued (offset, data, fin) chunks for packetisation."""
+        pending, self._pending_send = self._pending_send, []
+        return pending
+
+    # ---------------------------------------------------------------- receive
+    def receive(self, offset: int, data: bytes, fin: bool) -> None:
+        """Process an incoming STREAM frame for this stream."""
+        self._receive.insert(offset, data, fin)
+        contiguous, finished = self._receive.drain()
+        self.bytes_received += len(contiguous)
+        if finished:
+            self.receive_closed = True
+        if (contiguous or finished) and self._on_data is not None:
+            self._on_data(self.stream_id, contiguous, finished)
+
+    @property
+    def is_finished(self) -> bool:
+        """Whether both directions have been closed."""
+        return self.send_closed and self.receive_closed

@@ -1,0 +1,182 @@
+"""QUIC variable-length integers (RFC 9000, section 16).
+
+Varints encode unsigned integers up to 2^62 - 1 in 1, 2, 4 or 8 bytes; the
+two most significant bits of the first byte give the length.  The same
+encoding is used throughout MoQT, so the MoQT codec imports these helpers.
+"""
+
+from __future__ import annotations
+
+MAX_VARINT = (1 << 62) - 1
+
+_ONE_BYTE_MAX = 63
+_TWO_BYTE_MAX = 16383
+_FOUR_BYTE_MAX = 1073741823
+
+
+class VarintError(ValueError):
+    """Raised for out-of-range values or truncated encodings."""
+
+
+def varint_size(value: int) -> int:
+    """The number of bytes :func:`encode_varint` will use for ``value``."""
+    if value < 0 or value > MAX_VARINT:
+        raise VarintError(f"value out of varint range: {value}")
+    if value <= _ONE_BYTE_MAX:
+        return 1
+    if value <= _TWO_BYTE_MAX:
+        return 2
+    if value <= _FOUR_BYTE_MAX:
+        return 4
+    return 8
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode ``value`` as a QUIC varint."""
+    size = varint_size(value)
+    if size == 1:
+        return bytes([value])
+    if size == 2:
+        return bytes([0x40 | (value >> 8), value & 0xFF])
+    if size == 4:
+        return bytes(
+            [
+                0x80 | (value >> 24),
+                (value >> 16) & 0xFF,
+                (value >> 8) & 0xFF,
+                value & 0xFF,
+            ]
+        )
+    return bytes(
+        [
+            0xC0 | (value >> 56),
+            (value >> 48) & 0xFF,
+            (value >> 40) & 0xFF,
+            (value >> 32) & 0xFF,
+            (value >> 24) & 0xFF,
+            (value >> 16) & 0xFF,
+            (value >> 8) & 0xFF,
+            value & 0xFF,
+        ]
+    )
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint starting at ``offset``.
+
+    Returns ``(value, next_offset)``.
+    """
+    if offset >= len(data):
+        raise VarintError("truncated varint: no bytes available")
+    first = data[offset]
+    prefix = first >> 6
+    length = 1 << prefix
+    if offset + length > len(data):
+        raise VarintError(f"truncated varint: need {length} bytes")
+    value = first & 0x3F
+    for index in range(1, length):
+        value = (value << 8) | data[offset + index]
+    return value, offset + length
+
+
+class VarintReader:
+    """A cursor over a byte string that reads varints and length-prefixed data.
+
+    Both the QUIC packet parser and the MoQT message codec are written in
+    terms of this reader, which keeps the parsing code flat and explicit.
+    """
+
+    def __init__(self, data: bytes, offset: int = 0) -> None:
+        self._data = data
+        self._offset = offset
+
+    @property
+    def offset(self) -> int:
+        """Current cursor position."""
+        return self._offset
+
+    @property
+    def remaining(self) -> int:
+        """Number of unread bytes."""
+        return len(self._data) - self._offset
+
+    def at_end(self) -> bool:
+        """Whether the cursor is at the end of the data."""
+        return self._offset >= len(self._data)
+
+    def read_varint(self) -> int:
+        """Read one varint."""
+        value, self._offset = decode_varint(self._data, self._offset)
+        return value
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read exactly ``count`` raw bytes."""
+        if self._offset + count > len(self._data):
+            raise VarintError(f"truncated data: need {count} bytes, have {self.remaining}")
+        chunk = self._data[self._offset: self._offset + count]
+        self._offset += count
+        return chunk
+
+    def read_uint8(self) -> int:
+        """Read a single byte as an unsigned integer."""
+        return self.read_bytes(1)[0]
+
+    def read_uint16(self) -> int:
+        """Read a two-byte big-endian unsigned integer."""
+        chunk = self.read_bytes(2)
+        return (chunk[0] << 8) | chunk[1]
+
+    def read_length_prefixed(self) -> bytes:
+        """Read a varint length followed by that many bytes."""
+        length = self.read_varint()
+        return self.read_bytes(length)
+
+    def read_remaining(self) -> bytes:
+        """Read everything left."""
+        chunk = self._data[self._offset:]
+        self._offset = len(self._data)
+        return chunk
+
+
+class VarintWriter:
+    """Builds byte strings out of varints and length-prefixed chunks."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def write_varint(self, value: int) -> "VarintWriter":
+        """Append one varint."""
+        self._buffer += encode_varint(value)
+        return self
+
+    def write_bytes(self, data: bytes) -> "VarintWriter":
+        """Append raw bytes."""
+        self._buffer += data
+        return self
+
+    def write_uint8(self, value: int) -> "VarintWriter":
+        """Append a single byte."""
+        if not 0 <= value <= 0xFF:
+            raise VarintError(f"uint8 out of range: {value}")
+        self._buffer.append(value)
+        return self
+
+    def write_uint16(self, value: int) -> "VarintWriter":
+        """Append a two-byte big-endian unsigned integer."""
+        if not 0 <= value <= 0xFFFF:
+            raise VarintError(f"uint16 out of range: {value}")
+        self._buffer += bytes([(value >> 8) & 0xFF, value & 0xFF])
+        return self
+
+    def write_length_prefixed(self, data: bytes) -> "VarintWriter":
+        """Append a varint length followed by the data."""
+        self.write_varint(len(data))
+        self._buffer += data
+        return self
+
+    def getvalue(self) -> bytes:
+        """The accumulated bytes."""
+        return bytes(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,174 @@
+"""Record change processes calibrated to Fig. 1b of the paper.
+
+The paper measures, per TTL cluster, how many times an A record changed over
+300 consecutive TTL-spaced observations (comparing lexicographically ordered
+RDATA so round-robin rotation does not count as a change).  The headline
+findings are:
+
+* TTLs of 300 s and below change often — at least 71 changes out of 300
+  observations at the 90th percentile;
+* TTLs of 600 s and above essentially never change (0 changes up to the 90th
+  percentile);
+* HTTPS records (almost always TTL 300 s) change about as often as A records
+  with TTL 300 s.
+
+Each domain gets a :class:`RecordChangeProcess`: with probability
+``dynamic_fraction`` (which depends on the TTL) the domain is "dynamic" and
+changes between consecutive observations with a per-domain probability drawn
+from a calibrated range (CDN-style load balancing); otherwise it is static
+with a tiny residual change probability (renumbering events).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.dns.types import RecordType
+
+#: TTL threshold below/at which the paper observes high change rates.
+DYNAMIC_TTL_THRESHOLD = 300
+
+
+@dataclass
+class ChangeModelConfig:
+    """Calibration of the per-TTL change behaviour."""
+
+    #: Fraction of domains that behave dynamically, per TTL regime.  High-TTL
+    #: records are almost always static: the paper observes zero changes up
+    #: to the 90th percentile for TTLs of 600 s and above.
+    dynamic_fraction_low_ttl: float = 0.60
+    dynamic_fraction_high_ttl: float = 0.05
+    #: Per-observation change probability range for dynamic domains.
+    dynamic_change_range: tuple[float, float] = (0.25, 0.95)
+    #: Per-observation change probability range for static domains (zero:
+    #: a static record simply does not change between observations).
+    static_change_range: tuple[float, float] = (0.0, 0.0)
+    #: Number of distinct addresses a dynamic domain rotates through.
+    address_pool: int = 64
+    seed: int = 20250624
+
+    def __post_init__(self) -> None:
+        for low, high in (self.dynamic_change_range, self.static_change_range):
+            if not 0.0 <= low <= high <= 1.0:
+                raise ValueError(f"invalid probability range: ({low}, {high})")
+        if not 0.0 <= self.dynamic_fraction_low_ttl <= 1.0:
+            raise ValueError("dynamic_fraction_low_ttl out of range")
+        if not 0.0 <= self.dynamic_fraction_high_ttl <= 1.0:
+            raise ValueError("dynamic_fraction_high_ttl out of range")
+
+
+@dataclass
+class RecordChangeProcess:
+    """The change process of one record set.
+
+    ``advance()`` moves to the next TTL-spaced observation instant and
+    returns whether the record set changed; ``current_addresses()`` gives the
+    rendered RDATA values so measurement code can apply the paper's
+    lexicographic comparison.
+    """
+
+    domain_index: int
+    ttl: int
+    change_probability: float
+    pool_size: int
+    addresses_per_answer: int
+    rng: random.Random
+    changes: int = 0
+    observations: int = 0
+    _current_selection: tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self._current_selection:
+            self._current_selection = self._pick_selection()
+
+    def _pick_selection(self) -> tuple[int, ...]:
+        return tuple(
+            sorted(self.rng.sample(range(self.pool_size), k=min(self.addresses_per_answer, self.pool_size)))
+        )
+
+    def _address_for(self, index: int) -> str:
+        # Deterministic mapping of (domain, pool index) to an IPv4 literal.
+        high = (self.domain_index % 250) + 1
+        return f"203.{high}.{(index // 250) % 250}.{index % 250 + 1}"
+
+    def current_addresses(self) -> list[str]:
+        """The RDATA values of the current record set (unordered)."""
+        return [self._address_for(index) for index in self._current_selection]
+
+    def current_sorted(self) -> tuple[str, ...]:
+        """Lexicographically ordered RDATA, as the paper's comparison uses."""
+        return tuple(sorted(self.current_addresses()))
+
+    def advance(self) -> bool:
+        """Advance one observation interval; returns True if the set changed."""
+        self.observations += 1
+        if self.rng.random() >= self.change_probability:
+            return False
+        previous = self._current_selection
+        for _ in range(8):
+            candidate = self._pick_selection()
+            if candidate != previous:
+                self._current_selection = candidate
+                self.changes += 1
+                return True
+        return False
+
+    def mean_change_interval(self) -> float:
+        """Expected seconds between changes (infinite for static records)."""
+        if self.change_probability <= 0.0:
+            return float("inf")
+        return self.ttl / self.change_probability
+
+
+class ChangeModel:
+    """Creates calibrated :class:`RecordChangeProcess` instances per domain."""
+
+    def __init__(self, config: ChangeModelConfig | None = None) -> None:
+        self.config = config if config is not None else ChangeModelConfig()
+        self._rng = random.Random(self.config.seed)
+
+    def dynamic_fraction(self, ttl: int) -> float:
+        """Fraction of domains with this TTL that behave dynamically."""
+        if ttl <= DYNAMIC_TTL_THRESHOLD:
+            return self.config.dynamic_fraction_low_ttl
+        return self.config.dynamic_fraction_high_ttl
+
+    def change_probability(self, ttl: int, rng: random.Random) -> float:
+        """Draw a per-observation change probability for one domain."""
+        if rng.random() < self.dynamic_fraction(ttl):
+            low, high = self.config.dynamic_change_range
+        else:
+            low, high = self.config.static_change_range
+        return rng.uniform(low, high)
+
+    def process_for(
+        self,
+        domain_index: int,
+        ttl: int,
+        rdtype: RecordType = RecordType.A,
+        addresses_per_answer: int = 4,
+    ) -> RecordChangeProcess:
+        """Build the change process for one domain/record type."""
+        rng = random.Random((self.config.seed << 20) ^ (domain_index * 2654435761) ^ int(rdtype))
+        probability = self.change_probability(ttl, rng)
+        return RecordChangeProcess(
+            domain_index=domain_index,
+            ttl=ttl,
+            change_probability=probability,
+            pool_size=self.config.address_pool,
+            addresses_per_answer=addresses_per_answer,
+            rng=rng,
+        )
+
+    def expected_changes(self, ttl: int, observations: int = 300) -> float:
+        """Expected number of changes over a number of observations.
+
+        A population average mixing dynamic and static domains; used by the
+        traffic estimators as a sanity cross-check.
+        """
+        fraction = self.dynamic_fraction(ttl)
+        dynamic_mean = sum(self.config.dynamic_change_range) / 2.0
+        static_mean = sum(self.config.static_change_range) / 2.0
+        per_observation = fraction * dynamic_mean + (1.0 - fraction) * static_mean
+        return per_observation * observations

@@ -1,0 +1,99 @@
+"""Client query arrival models.
+
+Stub resolvers issue queries for domains drawn from a Zipf popularity
+distribution over the top list (popular sites are looked up far more often),
+with exponentially distributed inter-arrival times.  The model is
+deterministic given its seed, so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.dns.types import RecordType
+from repro.workload.toplist import SyntheticToplist, ToplistDomain
+
+
+@dataclass
+class QueryModelConfig:
+    """Parameters of the query arrival model."""
+
+    #: Zipf exponent for domain popularity (1.0 is the classic web value).
+    zipf_exponent: float = 1.0
+    #: Mean queries per second issued by one client.
+    queries_per_second: float = 1.0
+    #: Share of queries per record type.
+    type_mix: tuple[tuple[RecordType, float], ...] = (
+        (RecordType.A, 0.70),
+        (RecordType.AAAA, 0.20),
+        (RecordType.HTTPS, 0.10),
+    )
+    seed: int = 7
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """One query: when it is issued, for which domain and type."""
+
+    time: float
+    domain: ToplistDomain
+    rdtype: RecordType
+
+
+class QueryModel:
+    """Generates query streams over a synthetic top list."""
+
+    def __init__(self, toplist: SyntheticToplist, config: QueryModelConfig | None = None) -> None:
+        self.toplist = toplist
+        self.config = config if config is not None else QueryModelConfig()
+        self._rng = random.Random(self.config.seed)
+        self._weights = self._zipf_weights(len(toplist), self.config.zipf_exponent)
+
+    @staticmethod
+    def _zipf_weights(population: int, exponent: float) -> list[float]:
+        return [1.0 / math.pow(rank, exponent) for rank in range(1, population + 1)]
+
+    def sample_domain(self, rng: random.Random | None = None) -> ToplistDomain:
+        """Draw a domain according to Zipf popularity."""
+        generator = rng if rng is not None else self._rng
+        index = generator.choices(range(len(self.toplist)), weights=self._weights, k=1)[0]
+        return self.toplist.domain(index + 1)
+
+    def sample_type(self, domain: ToplistDomain, rng: random.Random | None = None) -> RecordType:
+        """Draw a record type the domain actually publishes."""
+        generator = rng if rng is not None else self._rng
+        candidates = [
+            (rdtype, weight)
+            for rdtype, weight in self.config.type_mix
+            if domain.has_type(rdtype)
+        ]
+        if not candidates:
+            # Clients still ask for A records even when the domain publishes
+            # none (the answer is simply an empty NOERROR / NXDOMAIN).
+            return domain.record_types[0] if domain.record_types else RecordType.A
+        types = [rdtype for rdtype, _ in candidates]
+        weights = [weight for _, weight in candidates]
+        return generator.choices(types, weights=weights, k=1)[0]
+
+    def generate(self, duration: float, client_seed: int = 0) -> list[QueryEvent]:
+        """Generate the query stream of one client over ``duration`` seconds."""
+        rng = random.Random((self.config.seed << 16) ^ client_seed)
+        events: list[QueryEvent] = []
+        now = 0.0
+        rate = self.config.queries_per_second
+        if rate <= 0:
+            return events
+        while True:
+            now += rng.expovariate(rate)
+            if now >= duration:
+                break
+            domain = self.sample_domain(rng)
+            rdtype = self.sample_type(domain, rng)
+            events.append(QueryEvent(time=now, domain=domain, rdtype=rdtype))
+        return events
+
+    def unique_domains(self, events: list[QueryEvent]) -> int:
+        """Number of distinct domains appearing in a query stream."""
+        return len({event.domain.name for event in events})

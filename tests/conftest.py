@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.link import LinkConfig
+from repro.netsim.network import Network
+from repro.netsim.simulator import Simulator
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def two_host_network(simulator: Simulator) -> Network:
+    """Two hosts ('10.0.0.1', '10.0.0.2') joined by a 20 ms RTT link."""
+    network = Network(simulator)
+    network.add_host("10.0.0.1")
+    network.add_host("10.0.0.2")
+    network.connect("10.0.0.1", "10.0.0.2", LinkConfig(delay=0.010))
+    return network
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running end-to-end simulations")

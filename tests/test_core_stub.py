@@ -1,0 +1,76 @@
+"""Tests for the standalone MoQT stub resolver (the paper's missing piece)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stub import MoqStubResolver
+from repro.dns.types import MOQT_PORT
+from repro.experiments.topology import RECURSIVE_HOST, STUB_HOST, SmallTopology, SmallTopologyConfig
+from repro.netsim.packet import Address
+
+
+def _make_stub(topology: SmallTopology) -> MoqStubResolver:
+    return MoqStubResolver(
+        topology.network.host(STUB_HOST),
+        recursive_moqt_address=Address(RECURSIVE_HOST, MOQT_PORT),
+    )
+
+
+class TestMoqStubResolver:
+    def test_no_udp_listener_is_bound(self):
+        topology = SmallTopology()
+        # The topology's forwarder already owns port 53; the stub resolver
+        # must not try to bind any UDP port at all.
+        stub = _make_stub(topology)
+        assert stub.address is None
+
+    def test_gethostbyname_returns_addresses(self):
+        topology = SmallTopology()
+        stub = _make_stub(topology)
+        results = []
+        stub.gethostbyname("www.example.com.", results.append)
+        topology.run(5.0)
+        assert results == [["192.0.2.10"]]
+        assert stub.is_subscribed("www.example.com.")
+
+    def test_gethostbyname_failure_returns_empty_list(self):
+        topology = SmallTopology()
+        stub = _make_stub(topology)
+        results = []
+        stub.gethostbyname("missing.example.com.", results.append)
+        topology.run(5.0)
+        assert results == [[]]
+
+    def test_gethostbyname6_for_missing_aaaa_is_empty(self):
+        topology = SmallTopology()
+        stub = _make_stub(topology)
+        results = []
+        stub.gethostbyname6("www.example.com.", results.append)
+        topology.run(5.0)
+        assert results == [[]]
+
+    def test_resolve_https_returns_alpn_list(self):
+        topology = SmallTopology()
+        topology.auth_zone.add(
+            "www.example.com.", "HTTPS", "1 . alpn=h2,h3", ttl=300
+        )
+        stub = _make_stub(topology)
+        results = []
+        stub.resolve_https("www.example.com.", results.append)
+        topology.run(5.0)
+        assert results == [["h2", "h3"]]
+
+    def test_pushed_updates_keep_answers_current_without_lookups(self):
+        topology = SmallTopology()
+        stub = _make_stub(topology)
+        stub.gethostbyname("www.example.com.", lambda addresses: None)
+        topology.run(5.0)
+        topology.update_record("203.0.113.200")
+        topology.run(2.0)
+        datagrams_before = topology.network.total_link_statistics()["datagrams_sent"]
+        fresh = []
+        stub.gethostbyname("www.example.com.", fresh.append)
+        assert fresh == [["203.0.113.200"]]
+        assert topology.network.total_link_statistics()["datagrams_sent"] == datagrams_before
+        assert stub.statistics.pushes_received >= 1

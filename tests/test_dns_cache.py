@@ -1,0 +1,117 @@
+"""Tests for the TTL-driven DNS cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dns.cache import DnsCache
+from repro.dns.name import Name
+from repro.dns.rdata import ARdata
+from repro.dns.rr import ResourceRecord, RRset
+from repro.dns.types import Rcode, RecordType
+from repro.netsim.simulator import Simulator
+
+
+def _rrset(name: str, addresses: list[str], ttl: int = 300) -> RRset:
+    owner = Name.from_text(name)
+    return RRset(
+        owner,
+        RecordType.A,
+        [ResourceRecord(owner, RecordType.A, ARdata(address), ttl) for address in addresses],
+    )
+
+
+@pytest.fixture
+def cache(simulator: Simulator) -> DnsCache:
+    return DnsCache(simulator)
+
+
+class TestCacheBasics:
+    def test_miss_then_hit(self, simulator, cache):
+        name = Name.from_text("www.example.com.")
+        assert cache.get(name, RecordType.A) is None
+        cache.put(name, RecordType.A, _rrset("www.example.com.", ["192.0.2.1"]))
+        entry = cache.get(name, RecordType.A)
+        assert entry is not None and entry.rrset is not None
+        assert cache.statistics.hits == 1
+        assert cache.statistics.misses == 1
+
+    def test_expiry_follows_simulated_clock(self, simulator, cache):
+        name = Name.from_text("www.example.com.")
+        cache.put(name, RecordType.A, _rrset("www.example.com.", ["192.0.2.1"], ttl=10))
+        simulator.advance(9.999)
+        assert cache.get(name, RecordType.A) is not None
+        simulator.advance(0.002)
+        assert cache.get(name, RecordType.A) is None
+        assert cache.statistics.expirations == 1
+
+    def test_fresh_rrset_decrements_ttl(self, simulator, cache):
+        name = Name.from_text("www.example.com.")
+        cache.put(name, RecordType.A, _rrset("www.example.com.", ["192.0.2.1"], ttl=100))
+        simulator.advance(40.0)
+        fresh = cache.fresh_rrset(name, RecordType.A)
+        assert fresh is not None
+        assert fresh.ttl == 60
+
+    def test_negative_entries_require_ttl(self, cache):
+        name = Name.from_text("nope.example.com.")
+        with pytest.raises(ValueError):
+            cache.put(name, RecordType.A, None)
+        cache.put(name, RecordType.A, None, rcode=Rcode.NXDOMAIN, ttl=30)
+        entry = cache.get(name, RecordType.A)
+        assert entry is not None and entry.rcode == Rcode.NXDOMAIN
+
+    def test_peek_does_not_affect_statistics(self, cache):
+        name = Name.from_text("www.example.com.")
+        cache.put(name, RecordType.A, _rrset("www.example.com.", ["192.0.2.1"]))
+        cache.peek(name, RecordType.A)
+        assert cache.statistics.lookups == 0
+
+    def test_remove_and_flush(self, cache):
+        name = Name.from_text("www.example.com.")
+        cache.put(name, RecordType.A, _rrset("www.example.com.", ["192.0.2.1"]))
+        assert cache.remove(name, RecordType.A) is True
+        assert cache.remove(name, RecordType.A) is False
+        cache.put(name, RecordType.A, _rrset("www.example.com.", ["192.0.2.1"]))
+        cache.flush()
+        assert len(cache) == 0
+
+    def test_hit_ratio(self, simulator, cache):
+        name = Name.from_text("www.example.com.")
+        cache.put(name, RecordType.A, _rrset("www.example.com.", ["192.0.2.1"]))
+        cache.get(name, RecordType.A)
+        cache.get(Name.from_text("other.example.com."), RecordType.A)
+        assert cache.statistics.hit_ratio == pytest.approx(0.5)
+
+
+class TestCacheBounds:
+    def test_eviction_prefers_earliest_expiry(self, simulator):
+        cache = DnsCache(simulator, max_entries=2)
+        short = Name.from_text("short.example.com.")
+        long_lived = Name.from_text("long.example.com.")
+        cache.put(short, RecordType.A, _rrset("short.example.com.", ["192.0.2.1"], ttl=10))
+        cache.put(long_lived, RecordType.A, _rrset("long.example.com.", ["192.0.2.2"], ttl=1000))
+        cache.put(
+            Name.from_text("third.example.com."),
+            RecordType.A,
+            _rrset("third.example.com.", ["192.0.2.3"], ttl=500),
+        )
+        assert cache.peek(short, RecordType.A) is None
+        assert cache.peek(long_lived, RecordType.A) is not None
+
+    def test_purge_expired_bulk(self, simulator, cache):
+        for index in range(5):
+            cache.put(
+                Name.from_text(f"h{index}.example.com."),
+                RecordType.A,
+                _rrset(f"h{index}.example.com.", ["192.0.2.9"], ttl=10 + index),
+            )
+        simulator.advance(12.5)
+        purged = cache.purge_expired()
+        assert purged == 3
+        assert len(cache) == 2
+
+    def test_pushed_updates_counted(self, cache):
+        name = Name.from_text("www.example.com.")
+        cache.put(name, RecordType.A, _rrset("www.example.com.", ["192.0.2.1"]), pushed=True)
+        assert cache.statistics.pushed_updates == 1

@@ -1,0 +1,168 @@
+"""Tests for zones: content management, serial bumping and the lookup algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.rdata import ARdata
+from repro.dns.rr import ResourceRecord, RRset
+from repro.dns.types import Rcode, RecordType
+from repro.dns.zone import Zone, ZoneChange, ZoneError
+from repro.dns.zonefile import ZoneFileError, parse_zone_text, serialize_zone
+
+
+@pytest.fixture
+def zone() -> Zone:
+    zone = Zone("example.com.", default_ttl=300)
+    zone.add("www.example.com.", "A", "192.0.2.1", bump=False)
+    zone.add("www.example.com.", "A", "192.0.2.2", bump=False)
+    zone.add("example.com.", "NS", "ns1.example.com.", bump=False)
+    zone.add("ns1.example.com.", "A", "192.0.2.53", bump=False)
+    zone.add("alias.example.com.", "CNAME", "www.example.com.", bump=False)
+    zone.add("*.wild.example.com.", "TXT", '"wildcard"', bump=False)
+    zone.add("sub.example.com.", "NS", "ns1.sub.example.com.", bump=False)
+    zone.add("ns1.sub.example.com.", "A", "192.0.2.99", bump=False)
+    return zone
+
+
+class TestZoneContent:
+    def test_serial_starts_at_one_and_bumps_on_change(self, zone):
+        start = zone.serial
+        zone.add("new.example.com.", "A", "192.0.2.10")
+        assert zone.serial == start + 1
+        zone.delete_rrset(Name.from_text("new.example.com."), RecordType.A)
+        assert zone.serial == start + 2
+
+    def test_serial_monotonically_increases(self, zone):
+        serials = [zone.serial]
+        for index in range(5):
+            zone.add(f"h{index}.example.com.", "A", "192.0.2.20")
+            serials.append(zone.serial)
+        assert serials == sorted(serials)
+        assert len(set(serials)) == len(serials)
+
+    def test_out_of_zone_record_rejected(self, zone):
+        with pytest.raises(ZoneError):
+            zone.add("www.other.org.", "A", "192.0.2.1")
+
+    def test_change_listener_notified(self, zone):
+        changes: list[ZoneChange] = []
+        zone.subscribe_changes(changes.append)
+        zone.add("www2.example.com.", "A", "192.0.2.7")
+        assert len(changes) == 1
+        assert changes[0].name == Name.from_text("www2.example.com.")
+        assert changes[0].serial == zone.serial
+
+    def test_replace_rrset_overwrites(self, zone):
+        name = Name.from_text("www.example.com.")
+        replacement = RRset(
+            name, RecordType.A, [ResourceRecord(name, RecordType.A, ARdata("198.51.100.1"), 60)]
+        )
+        zone.replace_rrset(replacement)
+        stored = zone.get_rrset(name, RecordType.A)
+        assert stored is not None
+        assert [record.rdata.to_text() for record in stored] == ["198.51.100.1"]
+
+    def test_delete_missing_rrset_returns_false(self, zone):
+        assert zone.delete_rrset(Name.from_text("missing.example.com."), RecordType.A) is False
+
+    def test_names_and_len(self, zone):
+        assert Name.from_text("www.example.com.") in zone.names()
+        assert len(zone) > 5
+
+
+class TestZoneLookup:
+    def test_exact_match(self, zone):
+        result = zone.lookup(Name.from_text("www.example.com."), RecordType.A)
+        assert result.rcode == Rcode.NOERROR
+        assert len(result.answers) == 2
+        assert not result.is_referral
+
+    def test_nxdomain_includes_soa(self, zone):
+        result = zone.lookup(Name.from_text("missing.example.com."), RecordType.A)
+        assert result.rcode == Rcode.NXDOMAIN
+        assert result.authorities[0].rdtype == RecordType.SOA
+
+    def test_nodata_for_existing_name_wrong_type(self, zone):
+        result = zone.lookup(Name.from_text("www.example.com."), RecordType.AAAA)
+        assert result.rcode == Rcode.NOERROR
+        assert result.answers == ()
+        assert result.authorities[0].rdtype == RecordType.SOA
+
+    def test_cname_chased_within_zone(self, zone):
+        result = zone.lookup(Name.from_text("alias.example.com."), RecordType.A)
+        assert result.rcode == Rcode.NOERROR
+        types = [record.rdtype for record in result.answers]
+        assert RecordType.CNAME in types and RecordType.A in types
+
+    def test_cname_query_returns_cname_only(self, zone):
+        result = zone.lookup(Name.from_text("alias.example.com."), RecordType.CNAME)
+        assert [record.rdtype for record in result.answers] == [RecordType.CNAME]
+
+    def test_wildcard_synthesis(self, zone):
+        result = zone.lookup(Name.from_text("anything.wild.example.com."), RecordType.TXT)
+        assert result.rcode == Rcode.NOERROR
+        assert result.answers[0].name == Name.from_text("anything.wild.example.com.")
+
+    def test_delegation_returns_referral_with_glue(self, zone):
+        result = zone.lookup(Name.from_text("host.sub.example.com."), RecordType.A)
+        assert result.is_referral
+        assert result.rcode == Rcode.NOERROR
+        assert result.authorities[0].rdtype == RecordType.NS
+        glue_names = [record.name for record in result.additionals]
+        assert Name.from_text("ns1.sub.example.com.") in glue_names
+
+    def test_out_of_zone_query_refused(self, zone):
+        result = zone.lookup(Name.from_text("www.other.org."), RecordType.A)
+        assert result.rcode == Rcode.REFUSED
+
+    def test_apex_ns_not_treated_as_delegation(self, zone):
+        result = zone.lookup(Name.from_text("example.com."), RecordType.NS)
+        assert not result.is_referral
+        assert result.answers[0].rdtype == RecordType.NS
+
+
+class TestZoneFile:
+    def test_parse_and_serialize_roundtrip(self):
+        text = """
+$ORIGIN example.org.
+$TTL 600
+@ SOA ns1.example.org. hostmaster.example.org. 17 3600 600 86400 300
+@ NS ns1.example.org.
+ns1 A 192.0.2.53
+www 300 IN A 192.0.2.80
+www A 192.0.2.81
+api CNAME www.example.org.
+txt TXT "hello world"
+"""
+        zone = parse_zone_text(text)
+        assert zone.origin == Name.from_text("example.org.")
+        assert zone.serial == 17
+        www = zone.get_rrset("www.example.org.", "A")
+        assert www is not None and len(www) == 2
+        assert www.records[0].ttl == 300
+        ns1 = zone.get_rrset("ns1.example.org.", "A")
+        assert ns1 is not None and ns1.records[0].ttl == 600
+        rendered = serialize_zone(zone)
+        reparsed = parse_zone_text(rendered)
+        assert reparsed.serial == 17
+        assert reparsed.get_rrset("api.example.org.", "CNAME") is not None
+
+    def test_origin_argument_used_when_no_directive(self):
+        zone = parse_zone_text("www A 192.0.2.1\n", origin="example.net.")
+        assert zone.get_rrset("www.example.net.", "A") is not None
+
+    def test_missing_origin_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_text("www A 192.0.2.1\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_text("$ORIGIN x.\nwww BOGUS 1\n")
+
+    def test_comments_and_blank_lines_ignored(self):
+        zone = parse_zone_text(
+            "$ORIGIN example.io.\n; a comment\n\nwww A 192.0.2.5 ; trailing comment\n"
+        )
+        assert zone.get_rrset("www.example.io.", "A") is not None

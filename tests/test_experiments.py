@@ -1,0 +1,186 @@
+"""Tests for the experiment drivers: each must reproduce the paper's shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dns.types import RecordType
+from repro.experiments.compatibility import run_compatibility
+from repro.experiments.fig1a import PAPER_TOTALS, run_fig1a
+from repro.experiments.fig1b import run_fig1b
+from repro.experiments.fig2_sequence import run_fig2
+from repro.experiments.query_latency import run_query_latency
+from repro.experiments.report import format_mapping, format_table
+from repro.experiments.staleness import run_staleness
+from repro.experiments.state_overhead import run_state_overhead
+from repro.experiments.topology import SmallTopology, SmallTopologyConfig
+from repro.experiments.traffic import run_traffic
+from repro.experiments.usecases import PAPER_CDN_STUB_KBPS, PAPER_DDNS_GBPS, run_usecases
+
+
+class TestReportFormatting:
+    def test_format_table_aligns_columns(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "longer"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_mapping(self):
+        text = format_mapping({"key": 1.5}, title="Title")
+        assert "Title" in text and "key" in text
+
+
+class TestFig1aExperiment:
+    def test_totals_match_paper_fractions(self):
+        result = run_fig1a(population=3000)
+        for row in result.total_rows():
+            assert abs(row["measured_fraction"] - row["paper_fraction"]) < 0.04
+        assert result.https_share_at_300() > 0.85
+
+    def test_ttl_histograms_cover_observed_clusters(self):
+        result = run_fig1a(population=1500)
+        a_histogram = result.distribution.histograms[RecordType.A]
+        assert set(a_histogram) <= {10, 20, 60, 300, 600, 1200, 3600}
+        assert max(a_histogram, key=a_histogram.get) == 300
+
+
+class TestFig1bExperiment:
+    def test_change_rate_shape_matches_paper(self):
+        result = run_fig1b(population=800, observations=300, max_domains_per_ttl=50)
+        assert result.matches_paper_shape()
+        assert result.low_ttl_p90_minimum() >= 71
+        assert result.high_ttl_p90_maximum() == 0
+
+    def test_rows_cover_low_and_high_ttls(self):
+        result = run_fig1b(population=600, observations=120, max_domains_per_ttl=40)
+        ttls = [row["ttl"] for row in result.rows()]
+        assert any(ttl <= 300 for ttl in ttls)
+        assert any(ttl >= 600 for ttl in ttls)
+
+
+class TestFig2Experiment:
+    def test_lookup_sequence_structure(self):
+        result = run_fig2()
+        assert result.upstream_subscribe_fetch_operations == 3
+        assert result.answer_addresses == ["192.0.2.10"]
+        actors = {step.actor for step in result.steps}
+        assert {"stub", "recursive", "auth"} <= actors
+        assert result.push_latency is not None
+        assert result.push_latency < 0.1
+        assert result.lookup_latency == pytest.approx(0.39, abs=1e-6)
+
+
+class TestQueryLatencyExperiment:
+    def test_all_scenarios_match_round_trip_model(self):
+        result = run_query_latency(stub_rtt=0.010, upstream_rtt=0.040)
+        for measurement in result.measurements:
+            assert measurement.relative_error < 0.02, measurement.scenario
+
+    def test_scenario_ordering_matches_paper(self):
+        result = run_query_latency(stub_rtt=0.010, upstream_rtt=0.040)
+        cold = result.measurement("moqt-cold").measured
+        resumed = result.measurement("moqt-0rtt").measured
+        reused = result.measurement("moqt-reused").measured
+        udp = result.measurement("udp-first").measured
+        pushed = result.measurement("moqt-pushed").measured
+        assert cold > resumed > reused
+        assert reused == pytest.approx(udp)
+        assert pushed == 0.0
+
+
+@pytest.mark.slow
+class TestStalenessExperiment:
+    def test_pubsub_beats_polling_by_orders_of_magnitude(self):
+        result = run_staleness(ttls=[10, 60], change_offsets=[0.5])
+        for sample in result.samples:
+            assert sample.pubsub_staleness < 0.1
+            assert sample.polling_staleness > sample.pubsub_staleness
+        assert result.mean_improvement(60) > 50
+
+    def test_pubsub_staleness_independent_of_ttl(self):
+        result = run_staleness(ttls=[10, 60], change_offsets=[0.25])
+        values = [sample.pubsub_staleness for sample in result.samples]
+        assert max(values) - min(values) < 0.01
+
+
+@pytest.mark.slow
+class TestTrafficExperiment:
+    def test_pubsub_wins_when_changes_are_rarer_than_ttl(self):
+        result = run_traffic(configurations=[(10, 120.0)], duration=240.0)
+        sample = result.samples[0]
+        assert sample.measured_pubsub_messages < sample.measured_polling_queries
+        assert sample.measured_reduction_factor > 2
+
+    def test_polling_wins_for_hot_records_with_long_ttl(self):
+        result = run_traffic(configurations=[(300, 30.0)], duration=300.0)
+        sample = result.samples[0]
+        assert sample.measured_pubsub_messages > sample.measured_polling_queries
+
+    def test_measured_counts_close_to_model(self):
+        result = run_traffic(configurations=[(10, 60.0)], duration=240.0)
+        sample = result.samples[0]
+        assert abs(sample.measured_polling_queries - sample.model.polling) <= 2
+        assert abs(sample.measured_pubsub_messages - sample.model.pubsub) <= 1
+
+
+class TestUseCaseExperiment:
+    def test_closed_form_estimates_match_paper(self):
+        result = run_usecases(simulated_duration=20.0, simulated_update_interval=5.0)
+        assert result.ddns.gbps == pytest.approx(PAPER_DDNS_GBPS, rel=0.05)
+        assert result.cdn_stub.kbps == pytest.approx(PAPER_CDN_STUB_KBPS, rel=0.01)
+
+    def test_simulation_cross_check_agrees_with_formula(self):
+        result = run_usecases(simulated_duration=30.0, simulated_update_interval=5.0)
+        assert result.cdn_simulation_relative_error < 0.05
+        assert result.simulated_cdn_update_bytes > 0
+
+
+class TestStateOverheadExperiment:
+    def test_policies_trade_state_for_resubscriptions(self):
+        result = run_state_overhead(questions=150, duration=3600.0)
+        by_name = {outcome.policy: outcome for outcome in result.policies}
+        assert by_name["never"].tracked_at_end == 150
+        assert by_name["never"].forced_resubscriptions == 0
+        assert by_name["lru-budget"].tracked_at_end <= 150 // 4 + 1
+        for name, outcome in by_name.items():
+            if name != "never":
+                assert outcome.state_bytes <= by_name["never"].state_bytes
+        assert result.classic_vs_moqt["extra_bytes"] > 0
+
+    def test_rows_render(self):
+        result = run_state_overhead(questions=50, duration=600.0)
+        assert len(result.rows()) == 4
+
+
+@pytest.mark.slow
+class TestCompatibilityExperiment:
+    def test_fallback_resolves_and_refresh_delivers_updates(self):
+        result = run_compatibility(ttl=10)
+        baseline = result.outcome("moqt-everywhere (baseline)")
+        decline = result.outcome("decline (auth UDP-only)")
+        refresh = result.outcome("periodic-refresh (auth UDP-only)")
+        assert baseline.resolved and decline.resolved and refresh.resolved
+        assert decline.answer_via_udp_fallback and refresh.answer_via_udp_fallback
+        assert baseline.update_delivered and refresh.update_delivered
+        assert not decline.update_delivered
+        # Pub/sub end-to-end is much faster than the TTL-bounded refresh path.
+        assert baseline.update_latency < 0.1
+        assert refresh.update_latency <= 15.0
+        assert refresh.update_latency > baseline.update_latency
+
+
+class TestSmallTopology:
+    def test_update_record_bumps_serial_once(self):
+        topology = SmallTopology()
+        serial_before = topology.auth_zone.serial
+        topology.update_record("203.0.113.1")
+        assert topology.auth_zone.serial == serial_before + 1
+
+    def test_custom_domain_and_ttl(self):
+        topology = SmallTopology(SmallTopologyConfig(domain="api.service.io.", record_ttl=60))
+        rrset = topology.auth_zone.get_rrset("api.service.io.", "A")
+        assert rrset is not None and rrset.ttl == 60

@@ -1,0 +1,214 @@
+"""Tests for the measurement pipeline and the analytical models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.latency_model import (
+    TransportScenario,
+    lookup_latency,
+    lookup_round_trips,
+    recursive_lookup_latency,
+    scenario_table,
+)
+from repro.analysis.staleness import (
+    expected_staleness_polling,
+    pubsub_staleness,
+    staleness_reduction_factor,
+    worst_case_staleness,
+)
+from repro.analysis.state_overhead import StateModel, endpoint_state_bytes, state_comparison
+from repro.analysis.traffic import (
+    crossover_change_interval,
+    polling_requests,
+    pubsub_messages,
+    traffic_comparison,
+)
+from repro.analysis.usecases import (
+    cdn_stub_traffic_bps,
+    ddns_update_traffic_bps,
+    deep_space_update_traffic_bps,
+)
+from repro.dns.types import RecordType
+from repro.measurement.campaign import CampaignConfig, MeasurementCampaign
+from repro.measurement.change_rate import count_changes, summarize_change_counts
+from repro.workload.toplist import SyntheticToplist, ToplistConfig
+
+
+class TestChangeCounting:
+    def test_reordered_samples_do_not_count_as_changes(self):
+        samples = [["1.1.1.1", "2.2.2.2"], ["2.2.2.2", "1.1.1.1"], ["1.1.1.1", "2.2.2.2"]]
+        assert count_changes(samples) == 0
+
+    def test_real_changes_counted(self):
+        samples = [["1.1.1.1"], ["1.1.1.1"], ["3.3.3.3"], ["3.3.3.3"], ["1.1.1.1"]]
+        assert count_changes(samples) == 2
+
+    def test_empty_and_single_sample(self):
+        assert count_changes([]) == 0
+        assert count_changes([["1.1.1.1"]]) == 0
+
+    def test_summary_percentiles(self):
+        summary = summarize_change_counts(300, [0, 0, 10, 100, 200], observations=300)
+        assert summary.ttl == 300
+        assert summary.domains == 5
+        assert summary.max == 200
+        assert summary.zero_change_fraction == pytest.approx(0.4)
+        assert summary.p90 >= summary.p50
+
+
+class TestMeasurementCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        toplist = SyntheticToplist(ToplistConfig(size=800, seed=13))
+        return MeasurementCampaign(
+            toplist, config=CampaignConfig(observations=100, max_domains_per_ttl=30)
+        )
+
+    def test_ttl_distribution_totals_match_toplist(self, campaign):
+        distribution = campaign.ttl_distribution()
+        counts = campaign.toplist.count_by_type()
+        assert distribution.totals[RecordType.A] == counts[RecordType.A]
+        assert distribution.population == len(campaign.toplist)
+        assert 0.0 < distribution.fraction(RecordType.HTTPS) < 0.3
+        assert distribution.rows()
+
+    def test_change_rates_follow_paper_shape(self, campaign):
+        result = campaign.change_rates()
+        low = [s for ttl, s in result.summaries.items() if ttl <= 300]
+        high = [s for ttl, s in result.summaries.items() if ttl >= 600]
+        assert low and high
+        assert min(s.p90 for s in low) > 0.2 * 100
+        assert max(s.p90 for s in high) == 0
+        assert all(s.observations == 100 for s in result.summaries.values())
+
+    def test_max_domains_per_ttl_cap_respected(self, campaign):
+        result = campaign.change_rates()
+        assert all(summary.domains <= 30 for summary in result.summaries.values())
+
+
+class TestLatencyModel:
+    def test_round_trip_counts_match_paper(self):
+        assert lookup_round_trips(TransportScenario.UDP) == 1
+        assert lookup_round_trips(TransportScenario.MOQT_COLD) == 3
+        assert lookup_round_trips(TransportScenario.MOQT_REUSED_SESSION) == 1
+        assert lookup_round_trips(TransportScenario.MOQT_0RTT) == 2
+        assert lookup_round_trips(TransportScenario.MOQT_0RTT_ALPN) == 1
+
+    def test_latency_scales_with_rtt(self):
+        assert lookup_latency(TransportScenario.MOQT_COLD, 0.1) == pytest.approx(0.3)
+        with pytest.raises(ValueError):
+            lookup_latency(TransportScenario.UDP, -1.0)
+
+    def test_recursive_breakdown(self):
+        breakdown = recursive_lookup_latency(
+            TransportScenario.MOQT_COLD, stub_rtt=0.01, upstream_rtts=[0.04, 0.04, 0.04]
+        )
+        assert breakdown.stub_to_recursive == pytest.approx(0.03)
+        assert breakdown.recursive_to_authorities == pytest.approx(0.36)
+        assert breakdown.total == pytest.approx(0.39)
+
+    def test_cache_hit_skips_upstream(self):
+        breakdown = recursive_lookup_latency(
+            TransportScenario.UDP, 0.01, [0.04] * 3, recursive_cache_hit=True
+        )
+        assert breakdown.total == pytest.approx(0.01)
+
+    def test_scenario_table_ordering(self):
+        table = scenario_table(rtt=0.05)
+        assert table["moqt-cold"] > table["moqt-0rtt"] > table["moqt-reused"]
+        assert table["udp"] == table["moqt-reused"] == table["moqt-0rtt-alpn"]
+
+
+class TestStalenessModel:
+    def test_worst_case_scales_with_layers(self):
+        assert worst_case_staleness(300, cache_layers=2) == 600
+        with pytest.raises(ValueError):
+            worst_case_staleness(-1)
+        with pytest.raises(ValueError):
+            worst_case_staleness(300, cache_layers=0)
+
+    def test_expected_polling_is_half_ttl_per_layer(self):
+        assert expected_staleness_polling(300) == 150
+        assert expected_staleness_polling(300, cache_layers=2) == 300
+
+    def test_pubsub_is_sum_of_propagation_delays(self):
+        assert pubsub_staleness([0.02, 0.005]) == pytest.approx(0.025)
+        with pytest.raises(ValueError):
+            pubsub_staleness([-0.1])
+
+    def test_reduction_factor_large_for_typical_ttls(self):
+        factor = staleness_reduction_factor(300, [0.02, 0.005])
+        assert factor > 1000
+
+
+class TestTrafficModel:
+    def test_polling_counts_one_request_per_ttl(self):
+        assert polling_requests(duration=3600, ttl=300) == 12
+        assert polling_requests(duration=3600, ttl=300, resolvers=10) == 120
+        with pytest.raises(ValueError):
+            polling_requests(10, 0)
+
+    def test_pubsub_counts_changes_plus_setup(self):
+        assert pubsub_messages(duration=3600, change_interval=600) == 7  # 6 pushes + setup
+        assert pubsub_messages(3600, 600, include_setup=False) == 6
+        assert pubsub_messages(3600, 0, include_setup=False) == 0
+
+    def test_comparison_and_crossover(self):
+        wins = traffic_comparison(3600, ttl=300, change_interval=3600)
+        assert wins.pubsub_wins and wins.reduction_factor > 1
+        loses = traffic_comparison(3600, ttl=3600, change_interval=60, include_setup=False)
+        assert not loses.pubsub_wins
+        assert crossover_change_interval(300) == 300
+
+    def test_comparison_scales_with_resolvers(self):
+        single = traffic_comparison(3600, 300, 3600, resolvers=1)
+        many = traffic_comparison(3600, 300, 3600, resolvers=100)
+        assert many.polling == 100 * single.polling
+
+
+class TestUseCaseEstimates:
+    def test_ddns_estimate_matches_paper(self):
+        estimate = ddns_update_traffic_bps()
+        assert estimate.gbps == pytest.approx(5.5, rel=0.05)
+
+    def test_cdn_estimate_matches_paper(self):
+        estimate = cdn_stub_traffic_bps()
+        assert estimate.kbps == pytest.approx(240.0, rel=0.01)
+
+    def test_deep_space_throttling_reduces_traffic(self):
+        throttled = deep_space_update_traffic_bps(throttled_fraction=0.9)
+        unthrottled = deep_space_update_traffic_bps(throttled_fraction=0.0)
+        assert throttled.bits_per_second < unthrottled.bits_per_second
+
+    def test_estimates_expose_inputs(self):
+        estimate = cdn_stub_traffic_bps()
+        as_dict = estimate.as_dict()
+        assert as_dict["subscribed_domains"] == 1000
+        assert as_dict["bits_per_second"] == estimate.bits_per_second
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            cdn_stub_traffic_bps(update_interval_seconds=0)
+        with pytest.raises(ValueError):
+            deep_space_update_traffic_bps(throttled_fraction=1.5)
+
+
+class TestStateOverheadModel:
+    def test_state_bytes_additive(self):
+        model = StateModel()
+        total = endpoint_state_bytes(2, 2, 10, 10, model)
+        assert total == 2 * model.bytes_per_connection + 2 * model.bytes_per_session + 10 * (
+            model.bytes_per_subscription + model.bytes_per_cache_entry
+        )
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            endpoint_state_bytes(-1, 0, 0)
+
+    def test_moqt_always_costs_more_than_classic(self):
+        comparison = state_comparison(tracked_questions=1000, upstream_servers=10)
+        assert comparison["moqt_bytes"] > comparison["classic_bytes"]
+        assert comparison["extra_bytes"] == comparison["moqt_bytes"] - comparison["classic_bytes"]

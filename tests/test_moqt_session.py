@@ -1,0 +1,321 @@
+"""Tests for MoQT sessions: setup, subscribe, fetch, publish, relays."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.moqt.errors import SubscribeErrorCode
+from repro.moqt.messages import FilterType
+from repro.moqt.objectmodel import Location, MoqtObject, TrackState
+from repro.moqt.relay import MoqtRelay
+from repro.moqt.session import (
+    FetchResult,
+    MoqtSession,
+    MoqtSessionConfig,
+    SubscribeResult,
+)
+from repro.moqt.track import FullTrackName
+from repro.netsim.link import LinkConfig
+from repro.netsim.network import Network
+from repro.netsim.packet import Address
+from repro.netsim.simulator import Simulator
+from repro.quic.connection import ConnectionConfig
+from repro.quic.endpoint import QuicEndpoint
+from repro.quic.tls import ServerTlsContext
+
+PUBLISHER = "9.9.9.9"
+SUBSCRIBER = "10.0.0.1"
+RELAY = "5.5.5.5"
+RTT = 0.05
+TRACK = FullTrackName.of(["dns", "a"], b"example")
+
+
+class RecordingPublisher:
+    """A publisher delegate serving one in-memory track."""
+
+    def __init__(self, defer: bool = False) -> None:
+        self.state = TrackState(TRACK)
+        self.state.publish(MoqtObject(group_id=1, object_id=0, payload=b"v1"))
+        self.subscribes = []
+        self.fetches = []
+        self.defer = defer
+        self.accept = True
+
+    def handle_subscribe(self, session, message):
+        self.subscribes.append((session, message))
+        if self.defer:
+            return None
+        if not self.accept:
+            return SubscribeResult(
+                ok=False, error_code=SubscribeErrorCode.TRACK_DOES_NOT_EXIST, reason="nope"
+            )
+        return SubscribeResult(ok=True, largest=self.state.largest)
+
+    def handle_fetch(self, session, message, full_track_name):
+        self.fetches.append((session, message, full_track_name))
+        if self.defer:
+            return None
+        return FetchResult(ok=True, objects=self.state.latest_objects(1), largest=self.state.largest)
+
+
+def _build(publisher_delegate=None, session_config=None):
+    simulator = Simulator(seed=21)
+    network = Network(simulator)
+    network.add_host(PUBLISHER)
+    network.add_host(SUBSCRIBER)
+    network.connect(PUBLISHER, SUBSCRIBER, LinkConfig(delay=RTT / 2))
+    publisher_sessions = []
+    delegate = publisher_delegate if publisher_delegate is not None else RecordingPublisher()
+
+    def on_connection(connection):
+        publisher_sessions.append(
+            MoqtSession(
+                connection,
+                is_client=False,
+                config=session_config or MoqtSessionConfig(),
+                publisher_delegate=delegate,
+            )
+        )
+
+    QuicEndpoint(
+        network.host(PUBLISHER),
+        port=4443,
+        server_tls=ServerTlsContext(alpn_protocols=("moq-00",)),
+        on_connection=on_connection,
+    )
+    client_endpoint = QuicEndpoint(network.host(SUBSCRIBER))
+    connection = client_endpoint.connect(
+        Address(PUBLISHER, 4443), ConnectionConfig(alpn_protocols=("moq-00",))
+    )
+    client_session = MoqtSession(
+        connection, is_client=True, config=session_config or MoqtSessionConfig()
+    )
+    return simulator, client_session, publisher_sessions, delegate
+
+
+class TestSessionSetup:
+    def test_session_ready_after_two_rtts(self):
+        simulator, session, publisher_sessions, _ = _build()
+        simulator.run(until=2.0)
+        assert session.ready
+        assert session.ready_at == pytest.approx(2 * RTT)
+        assert publisher_sessions[0].ready
+        assert session.selected_version is not None
+
+    def test_alpn_version_negotiation_makes_client_ready_immediately(self):
+        simulator, session, _, _ = _build(
+            session_config=MoqtSessionConfig(alpn_version_negotiation=True)
+        )
+        assert session.ready
+        assert session.ready_at == 0.0
+
+    def test_requests_queued_until_ready_are_sent(self):
+        simulator, session, _, delegate = _build()
+        responses = []
+        session.subscribe(TRACK, on_response=lambda s: responses.append(s.state))
+        simulator.run(until=2.0)
+        assert responses == ["active"]
+        assert len(delegate.subscribes) == 1
+
+
+class TestSubscribeAndFetch:
+    def test_subscribe_fetch_and_push(self):
+        simulator, session, publisher_sessions, delegate = _build()
+        pushed = []
+        fetched = []
+        subscription = session.subscribe(TRACK, on_object=lambda obj: pushed.append(obj))
+        session.joining_fetch(subscription, 1, on_complete=lambda f: fetched.append(f))
+        simulator.run(until=2.0)
+        assert subscription.is_active
+        assert fetched[0].succeeded
+        assert [obj.payload for obj in fetched[0].objects] == [b"v1"]
+        assert subscription.largest == Location(1, 0)
+
+        publisher_subscription = publisher_sessions[0].publisher_subscriptions()[0]
+        update = MoqtObject(group_id=2, object_id=0, payload=b"v2")
+        delegate.state.publish(update)
+        publisher_sessions[0].publish(publisher_subscription, update)
+        simulator.run(until=4.0)
+        assert [obj.payload for obj in pushed] == [b"v2"]
+        assert subscription.objects_received == 1
+        assert session.statistics.objects_received == 2  # fetch object + push
+
+    def test_subscribe_error_propagates(self):
+        delegate = RecordingPublisher()
+        delegate.accept = False
+        simulator, session, _, _ = _build(publisher_delegate=delegate)
+        states = []
+        session.subscribe(TRACK, on_response=lambda s: states.append((s.state, s.error_code)))
+        simulator.run(until=2.0)
+        assert states == [("error", int(SubscribeErrorCode.TRACK_DOES_NOT_EXIST))]
+
+    def test_deferred_completion(self):
+        delegate = RecordingPublisher(defer=True)
+        simulator, session, publisher_sessions, _ = _build(publisher_delegate=delegate)
+        states = []
+        fetch_results = []
+        subscription = session.subscribe(TRACK, on_response=lambda s: states.append(s.state))
+        session.joining_fetch(subscription, 1, on_complete=lambda f: fetch_results.append(f.succeeded))
+        simulator.run(until=2.0)
+        assert states == [] and fetch_results == []
+        publisher = publisher_sessions[0]
+        sub_request = delegate.subscribes[0][1]
+        fetch_request = delegate.fetches[0][1]
+        publisher.complete_subscribe(
+            sub_request.request_id, SubscribeResult(ok=True, largest=Location(1, 0))
+        )
+        publisher.complete_fetch(
+            fetch_request.request_id,
+            FetchResult(ok=True, objects=[MoqtObject(group_id=1, object_id=0, payload=b"v1")]),
+        )
+        simulator.run(until=4.0)
+        assert states == ["active"]
+        assert fetch_results == [True]
+
+    def test_standalone_fetch_range(self):
+        delegate = RecordingPublisher()
+        delegate.state.publish(MoqtObject(group_id=2, object_id=0, payload=b"v2"))
+        simulator, session, _, _ = _build(publisher_delegate=delegate)
+        done = []
+        session.fetch(TRACK, Location(1, 0), Location(2, 0), on_complete=done.append)
+        simulator.run(until=2.0)
+        assert done[0].succeeded
+        assert done[0].objects  # publisher returns its latest object
+
+    def test_unsubscribe_sends_done(self):
+        simulator, session, publisher_sessions, _ = _build()
+        subscription = session.subscribe(TRACK)
+        simulator.run(until=2.0)
+        assert publisher_sessions[0].publisher_subscriptions()
+        session.unsubscribe(subscription)
+        simulator.run(until=4.0)
+        assert subscription.state == "done"
+        assert publisher_sessions[0].publisher_subscriptions() == []
+
+    def test_fetch_error_when_no_publisher(self):
+        simulator, session, publisher_sessions, _ = _build()
+        simulator.run(until=1.0)
+        publisher_sessions[0].publisher_delegate = None
+        results = []
+        subscription = session.subscribe(TRACK, on_response=lambda s: results.append(s.state))
+        simulator.run(until=3.0)
+        assert results == ["error"]
+
+    def test_datagram_object_delivery(self):
+        simulator, session, publisher_sessions, delegate = _build(
+            session_config=MoqtSessionConfig(use_datagrams=True)
+        )
+        pushed = []
+        session.subscribe(TRACK, on_object=lambda obj: pushed.append(obj.payload))
+        simulator.run(until=2.0)
+        publisher = publisher_sessions[0]
+        publisher_subscription = publisher.publisher_subscriptions()[0]
+        publisher.publish(publisher_subscription, MoqtObject(group_id=3, object_id=0, payload=b"dg"))
+        simulator.run(until=3.0)
+        assert pushed == [b"dg"]
+
+    def test_goaway_recorded(self):
+        simulator, session, publisher_sessions, _ = _build()
+        simulator.run(until=1.0)
+        publisher_sessions[0].goaway("moqt://elsewhere")
+        simulator.run(until=2.0)
+        assert session.goaway_uri == "moqt://elsewhere"
+
+    def test_session_close_propagates(self):
+        simulator, session, publisher_sessions, _ = _build()
+        simulator.run(until=1.0)
+        closed = []
+        publisher_sessions[0].on_closed = lambda s, reason: closed.append(reason)
+        session.close("finished")
+        simulator.run(until=2.0)
+        assert session.closed
+        assert publisher_sessions[0].closed
+        assert closed
+
+
+class TestRelay:
+    def _build_relay_chain(self):
+        simulator = Simulator(seed=31)
+        network = Network(simulator)
+        for host in (PUBLISHER, RELAY, SUBSCRIBER):
+            network.add_host(host)
+        network.connect(PUBLISHER, RELAY, LinkConfig(delay=0.02))
+        network.connect(RELAY, SUBSCRIBER, LinkConfig(delay=0.01))
+
+        delegate = RecordingPublisher()
+        origin_sessions = []
+
+        def on_connection(connection):
+            origin_sessions.append(
+                MoqtSession(connection, is_client=False, publisher_delegate=delegate)
+            )
+
+        QuicEndpoint(
+            network.host(PUBLISHER),
+            port=4443,
+            server_tls=ServerTlsContext(alpn_protocols=("moq-00",)),
+            on_connection=on_connection,
+        )
+        relay = MoqtRelay(network.host(RELAY), upstream=Address(PUBLISHER, 4443))
+
+        def subscriber(host_address: str):
+            endpoint = QuicEndpoint(network.host(host_address))
+            connection = endpoint.connect(
+                Address(RELAY, 4443), ConnectionConfig(alpn_protocols=("moq-00",))
+            )
+            return MoqtSession(connection, is_client=True)
+
+        return simulator, delegate, origin_sessions, relay, subscriber
+
+    def test_relay_aggregates_subscriptions_and_forwards_objects(self):
+        simulator, delegate, origin_sessions, relay, make_subscriber = self._build_relay_chain()
+        first = make_subscriber(SUBSCRIBER)
+        second = make_subscriber(SUBSCRIBER)
+        received_first, received_second = [], []
+        first.subscribe(TRACK, on_object=lambda obj: received_first.append(obj.payload))
+        second.subscribe(TRACK, on_object=lambda obj: received_second.append(obj.payload))
+        simulator.run(until=3.0)
+        # Two downstream subscriptions, one upstream subscription.
+        assert relay.statistics.downstream_subscribes == 2
+        assert relay.statistics.upstream_subscribes == 1
+        assert delegate.subscribes and len(delegate.subscribes) == 1
+
+        update = MoqtObject(group_id=2, object_id=0, payload=b"v2")
+        delegate.state.publish(update)
+        origin = origin_sessions[0]
+        origin.publish(origin.publisher_subscriptions()[0], update)
+        simulator.run(until=6.0)
+        assert received_first == [b"v2"]
+        assert received_second == [b"v2"]
+        assert relay.statistics.objects_forwarded == 2
+
+    def test_relay_serves_fetch_from_cache_after_first_object(self):
+        simulator, delegate, origin_sessions, relay, make_subscriber = self._build_relay_chain()
+        subscriber = make_subscriber(SUBSCRIBER)
+        subscription = subscriber.subscribe(TRACK)
+        simulator.run(until=3.0)
+        update = MoqtObject(group_id=2, object_id=0, payload=b"v2")
+        delegate.state.publish(update)
+        origin = origin_sessions[0]
+        origin.publish(origin.publisher_subscriptions()[0], update)
+        simulator.run(until=5.0)
+
+        fetches = []
+        late = make_subscriber(SUBSCRIBER)
+        late_subscription = late.subscribe(TRACK)
+        late.joining_fetch(late_subscription, 1, on_complete=lambda f: fetches.append(f))
+        simulator.run(until=8.0)
+        assert fetches and fetches[0].succeeded
+        assert [obj.payload for obj in fetches[0].objects] == [b"v2"]
+        assert relay.statistics.fetches_served_from_cache == 1
+
+    def test_relay_forwards_fetch_upstream_on_cache_miss(self):
+        simulator, delegate, origin_sessions, relay, make_subscriber = self._build_relay_chain()
+        subscriber = make_subscriber(SUBSCRIBER)
+        fetches = []
+        subscription = subscriber.subscribe(TRACK)
+        subscriber.joining_fetch(subscription, 1, on_complete=lambda f: fetches.append(f))
+        simulator.run(until=5.0)
+        assert fetches and fetches[0].succeeded
+        assert [obj.payload for obj in fetches[0].objects] == [b"v1"]
+        assert relay.statistics.fetches_forwarded_upstream == 1

@@ -1,0 +1,271 @@
+"""Tests for links, hosts and routing in the network simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.link import Link, LinkConfig
+from repro.netsim.network import Network, NoRouteError, UnknownHostError
+from repro.netsim.node import Host, PortInUseError
+from repro.netsim.packet import Address, Datagram
+from repro.netsim.simulator import Simulator
+from repro.netsim.stats import Counter, SummaryStatistics, cumulative_distribution, histogram
+from repro.netsim.trace import TraceRecorder, format_sequence
+
+
+class _Collector:
+    """A port handler that records delivered datagrams with timestamps."""
+
+    def __init__(self, simulator: Simulator) -> None:
+        self.simulator = simulator
+        self.received: list[tuple[float, Datagram]] = []
+
+    def datagram_received(self, datagram: Datagram) -> None:
+        self.received.append((self.simulator.now, datagram))
+
+
+class TestLinkConfig:
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            LinkConfig(delay=-1.0)
+
+    def test_rejects_bad_loss_rate(self):
+        with pytest.raises(ValueError):
+            LinkConfig(loss_rate=1.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            LinkConfig(bandwidth=0)
+
+
+class TestLink:
+    def test_delivers_after_propagation_delay(self, simulator):
+        delivered = []
+        link = Link(simulator, LinkConfig(delay=0.25), lambda d: delivered.append(simulator.now))
+        link.transmit(_datagram(b"x" * 10))
+        simulator.run_until_idle()
+        assert delivered == [0.25]
+
+    def test_serialisation_delay_applies_with_bandwidth(self, simulator):
+        delivered = []
+        # 8000 bits at 8000 bps -> 1 second serialisation + 0.5 propagation.
+        link = Link(
+            simulator,
+            LinkConfig(delay=0.5, bandwidth=8000),
+            lambda d: delivered.append(simulator.now),
+        )
+        link.transmit(_datagram(b"a" * 1000))
+        simulator.run_until_idle()
+        assert delivered == [pytest.approx(1.5)]
+
+    def test_fifo_serialisation_queues_back_to_back(self, simulator):
+        delivered = []
+        link = Link(
+            simulator,
+            LinkConfig(delay=0.0, bandwidth=8000),
+            lambda d: delivered.append(simulator.now),
+        )
+        link.transmit(_datagram(b"a" * 1000))
+        link.transmit(_datagram(b"b" * 1000))
+        simulator.run_until_idle()
+        assert delivered == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_loss_drops_datagrams_and_counts_them(self, simulator):
+        delivered = []
+        link = Link(simulator, LinkConfig(delay=0.01, loss_rate=0.999999), lambda d: delivered.append(d))
+        for _ in range(20):
+            link.transmit(_datagram(b"y"))
+        simulator.run_until_idle()
+        assert delivered == []
+        assert link.statistics.datagrams_dropped == 20
+
+    def test_statistics_track_bytes(self, simulator):
+        link = Link(simulator, LinkConfig(delay=0.01), lambda d: None)
+        link.transmit(_datagram(b"abcd"))
+        simulator.run_until_idle()
+        assert link.statistics.bytes_sent == 4
+        assert link.statistics.bytes_delivered == 4
+
+
+class TestHost:
+    def test_bind_and_deliver(self, simulator):
+        host = Host(simulator, "h1")
+        collector = _Collector(simulator)
+        address = host.bind(53, collector)
+        assert address == Address("h1", 53)
+        host.deliver(_datagram(b"q", destination=address))
+        assert len(collector.received) == 1
+
+    def test_double_bind_rejected(self, simulator):
+        host = Host(simulator, "h1")
+        host.bind(53, _Collector(simulator))
+        with pytest.raises(PortInUseError):
+            host.bind(53, _Collector(simulator))
+
+    def test_ephemeral_ports_are_unique(self, simulator):
+        host = Host(simulator, "h1")
+        first = host.bind_ephemeral(_Collector(simulator))
+        second = host.bind_ephemeral(_Collector(simulator))
+        assert first.port != second.port
+
+    def test_unbound_port_drops_silently(self, simulator):
+        host = Host(simulator, "h1")
+        host.deliver(_datagram(b"q", destination=Address("h1", 9)))  # no exception
+
+    def test_send_requires_attachment(self, simulator):
+        host = Host(simulator, "h1")
+        with pytest.raises(Exception):
+            host.send(_datagram(b"q"))
+
+
+class TestNetworkRouting:
+    def test_direct_link_delivery_and_latency(self, simulator, two_host_network):
+        network = two_host_network
+        collector = _Collector(simulator)
+        network.host("10.0.0.2").bind(7, collector)
+        network.host("10.0.0.1").send(
+            Datagram(Address("10.0.0.1", 1000), Address("10.0.0.2", 7), b"ping")
+        )
+        simulator.run_until_idle()
+        assert [time for time, _ in collector.received] == [pytest.approx(0.010)]
+
+    def test_loopback_delivery(self, simulator):
+        network = Network(simulator)
+        network.add_host("solo")
+        collector = _Collector(simulator)
+        network.host("solo").bind(5, collector)
+        network.host("solo").send(
+            Datagram(Address("solo", 9), Address("solo", 5), b"self")
+        )
+        simulator.run_until_idle()
+        assert len(collector.received) == 1
+
+    def test_multi_hop_routing_uses_shortest_delay_path(self, simulator):
+        network = Network(simulator)
+        for name in ("a", "b", "c"):
+            network.add_host(name)
+        network.connect("a", "b", LinkConfig(delay=0.01))
+        network.connect("b", "c", LinkConfig(delay=0.02))
+        collector = _Collector(simulator)
+        network.host("c").bind(80, collector)
+        network.host("a").send(Datagram(Address("a", 1), Address("c", 80), b"via-b"))
+        simulator.run_until_idle()
+        assert [time for time, _ in collector.received] == [pytest.approx(0.03)]
+        assert network.shortest_path("a", "c") == ["a", "b", "c"]
+
+    def test_unknown_destination_raises(self, simulator, two_host_network):
+        with pytest.raises(UnknownHostError):
+            two_host_network.host("10.0.0.1").send(
+                Datagram(Address("10.0.0.1", 1), Address("nowhere", 1), b"x")
+            )
+
+    def test_no_route_raises(self, simulator):
+        network = Network(simulator)
+        network.add_host("a")
+        network.add_host("b")
+        with pytest.raises(NoRouteError):
+            network.shortest_path("a", "b")
+
+    def test_duplicate_host_rejected(self, simulator):
+        network = Network(simulator)
+        network.add_host("a")
+        with pytest.raises(ValueError):
+            network.add_host("a")
+
+    def test_total_link_statistics_aggregate(self, simulator, two_host_network):
+        network = two_host_network
+        collector = _Collector(simulator)
+        network.host("10.0.0.2").bind(7, collector)
+        network.host("10.0.0.1").send(
+            Datagram(Address("10.0.0.1", 1), Address("10.0.0.2", 7), b"12345")
+        )
+        simulator.run_until_idle()
+        totals = network.total_link_statistics()
+        assert totals["datagrams_delivered"] == 1
+        assert totals["bytes_delivered"] == 5
+
+    def test_trace_records_send_and_delivery(self, simulator, two_host_network):
+        network = two_host_network
+        collector = _Collector(simulator)
+        network.host("10.0.0.2").bind(7, collector)
+        network.host("10.0.0.1").send(
+            Datagram(Address("10.0.0.1", 1), Address("10.0.0.2", 7), b"x", protocol="test")
+        )
+        simulator.run_until_idle()
+        assert network.trace.count("datagram-sent") == 1
+        assert network.trace.count("datagram-delivered") == 1
+        event = network.trace.events("datagram-sent")[0]
+        assert event.attribute("protocol") == "test"
+
+
+class TestTraceRecorder:
+    def test_filter_and_kinds(self, simulator):
+        trace = TraceRecorder(simulator)
+        trace.record("a", value=1)
+        trace.record("b", value=2)
+        trace.record("a", value=3)
+        assert trace.kinds() == ["a", "b"]
+        assert len(trace.filter(lambda e: e.attribute("value", 0) >= 2)) == 2
+        trace.clear()
+        assert trace.count() == 0
+
+    def test_listeners_invoked(self, simulator):
+        trace = TraceRecorder(simulator)
+        seen = []
+        trace.subscribe(lambda event: seen.append(event.kind))
+        trace.record("x")
+        assert seen == ["x"]
+
+    def test_format_sequence_contains_attributes(self, simulator):
+        trace = TraceRecorder(simulator)
+        trace.record("step", source="stub", destination="resolver")
+        text = format_sequence(trace.events())
+        assert "step" in text and "source=stub" in text
+
+
+class TestStatisticsHelpers:
+    def test_counter_increment_and_reset(self):
+        counter = Counter()
+        counter.increment("queries")
+        counter.increment("queries", 2)
+        assert counter.get("queries") == 3
+        counter.reset()
+        assert counter.get("queries") == 0
+
+    def test_summary_statistics_percentiles(self):
+        stats = SummaryStatistics()
+        stats.extend(range(1, 101))
+        assert stats.count == 100
+        assert stats.mean == pytest.approx(50.5)
+        assert stats.percentile(50) == pytest.approx(50.5)
+        assert stats.percentile(90) == pytest.approx(90.1)
+        assert stats.minimum == 1 and stats.maximum == 100
+        assert stats.median == stats.percentile(50)
+
+    def test_summary_statistics_empty_safe(self):
+        stats = SummaryStatistics()
+        assert stats.mean == 0.0
+        assert stats.percentile(99) == 0.0
+        assert stats.stddev == 0.0
+
+    def test_percentile_out_of_range_rejected(self):
+        stats = SummaryStatistics()
+        stats.add(1.0)
+        with pytest.raises(ValueError):
+            stats.percentile(101)
+
+    def test_cumulative_distribution(self):
+        cdf = cumulative_distribution([1.0, 1.0, 2.0, 4.0])
+        assert cdf == [(1.0, 0.5), (2.0, 0.75), (4.0, 1.0)]
+
+    def test_histogram_counts_exact_bins(self):
+        counts = histogram([300, 300, 60, 999], bins=[60, 300, 3600])
+        assert counts == {60: 1, 300: 2, 3600: 0}
+
+
+def _datagram(payload: bytes, destination: Address | None = None) -> Datagram:
+    return Datagram(
+        source=Address("src", 1),
+        destination=destination if destination is not None else Address("dst", 2),
+        payload=payload,
+    )

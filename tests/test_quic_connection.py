@@ -1,0 +1,203 @@
+"""Tests for the QUIC connection state machine over the simulated network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.link import LinkConfig
+from repro.netsim.network import Network
+from repro.netsim.packet import Address
+from repro.netsim.simulator import Simulator
+from repro.quic.connection import ConnectionConfig
+from repro.quic.endpoint import QuicEndpoint
+from repro.quic.stream import StreamDirection
+from repro.quic.tls import ServerTlsContext
+
+SERVER = "9.9.9.9"
+CLIENT = "10.0.0.1"
+RTT = 0.1
+
+
+def _build(loss_rate: float = 0.0, server_accept_early: bool = True, keepalive=None, idle=30.0):
+    simulator = Simulator(seed=11)
+    network = Network(simulator)
+    network.add_host(SERVER)
+    network.add_host(CLIENT)
+    network.connect(SERVER, CLIENT, LinkConfig(delay=RTT / 2, loss_rate=loss_rate))
+
+    server_connections = []
+
+    def echo_handler(connection):
+        def on_data(stream_id, data, fin):
+            stream = connection.get_or_create_stream(stream_id)
+            connection.send_stream_data(stream, b"echo:" + data, fin=True)
+
+        connection.on_stream_data = on_data
+        server_connections.append(connection)
+
+    server_endpoint = QuicEndpoint(
+        network.host(SERVER),
+        port=4443,
+        server_tls=ServerTlsContext(alpn_protocols=("moq-00",), accept_early_data=server_accept_early),
+        on_connection=echo_handler,
+    )
+    client_endpoint = QuicEndpoint(network.host(CLIENT))
+    config = ConnectionConfig(
+        alpn_protocols=("moq-00",), keepalive_interval=keepalive, idle_timeout=idle
+    )
+    return simulator, server_endpoint, client_endpoint, config, server_connections
+
+
+class TestHandshake:
+    def test_handshake_takes_one_rtt(self):
+        simulator, server_ep, client_ep, config, _ = _build()
+        connection = client_ep.connect(Address(SERVER, 4443), config)
+        times = []
+        connection.on_handshake_complete = lambda c: times.append(simulator.now)
+        simulator.run(until=5.0)
+        assert times == [pytest.approx(RTT)]
+        assert connection.negotiated_alpn == "moq-00"
+        assert connection.handshake_rtts == 1.0
+
+    def test_request_response_over_fresh_connection_takes_two_rtts(self):
+        simulator, server_ep, client_ep, config, _ = _build()
+        connection = client_ep.connect(Address(SERVER, 4443), config)
+        replies = []
+
+        def after_handshake(c):
+            stream = c.open_stream()
+            c.send_stream_data(stream, b"ping", fin=True)
+
+        connection.on_handshake_complete = after_handshake
+        connection.on_stream_data = lambda sid, data, fin: replies.append((simulator.now, data))
+        simulator.run(until=5.0)
+        assert replies[0][0] == pytest.approx(2 * RTT)
+        assert replies[0][1] == b"echo:ping"
+
+    def test_alpn_mismatch_closes_connection(self):
+        simulator, server_ep, client_ep, _, _ = _build()
+        connection = client_ep.connect(
+            Address(SERVER, 4443), ConnectionConfig(alpn_protocols=("h3-only",))
+        )
+        simulator.run(until=5.0)
+        assert not connection.handshake_complete
+
+    def test_server_connection_created_per_client(self):
+        simulator, server_ep, client_ep, config, server_connections = _build()
+        client_ep.connect(Address(SERVER, 4443), config)
+        client_ep.connect(Address(SERVER, 4443), config)
+        simulator.run(until=5.0)
+        assert len(server_connections) == 2
+        assert len(server_ep.open_connections()) == 2
+
+
+class TestZeroRtt:
+    def test_resumed_connection_sends_early_data(self):
+        simulator, server_ep, client_ep, config, _ = _build()
+        first = client_ep.connect(Address(SERVER, 4443), config)
+        simulator.run(until=1.0)
+        assert client_ep.ticket_store.get(SERVER, simulator.now) is not None
+
+        second = client_ep.connect(Address(SERVER, 4443), config)
+        replies = []
+        second.on_stream_data = lambda sid, data, fin: replies.append(simulator.now)
+        stream = second.open_stream()
+        start = simulator.now
+        second.send_stream_data(stream, b"early", fin=True)
+        simulator.run(until=start + 5.0)
+        assert second.used_0rtt and second.early_data_accepted
+        assert second.handshake_rtts == 0.0
+        assert replies[0] - start == pytest.approx(RTT)
+
+    def test_server_rejecting_early_data_still_delivers_after_handshake(self):
+        simulator, server_ep, client_ep, config, _ = _build(server_accept_early=False)
+        first = client_ep.connect(Address(SERVER, 4443), config)
+        simulator.run(until=1.0)
+        second = client_ep.connect(Address(SERVER, 4443), config)
+        replies = []
+        second.on_stream_data = lambda sid, data, fin: replies.append((simulator.now, data))
+        start = simulator.now
+        stream = second.open_stream()
+        second.send_stream_data(stream, b"early", fin=True)
+        simulator.run(until=start + 5.0)
+        assert second.used_0rtt and not second.early_data_accepted
+        assert replies and replies[0][1] == b"echo:early"
+        assert replies[0][0] - start >= 2 * RTT - 1e-9
+
+    def test_0rtt_disabled_by_config(self):
+        simulator, server_ep, client_ep, _, _ = _build()
+        config = ConnectionConfig(alpn_protocols=("moq-00",), enable_0rtt=False)
+        client_ep.connect(Address(SERVER, 4443), config)
+        simulator.run(until=1.0)
+        second = client_ep.connect(Address(SERVER, 4443), config)
+        assert not second.used_0rtt
+
+
+class TestReliabilityAndLifecycle:
+    def test_streams_survive_packet_loss(self):
+        simulator, server_ep, client_ep, config, _ = _build(loss_rate=0.25)
+        connection = client_ep.connect(Address(SERVER, 4443), config)
+        replies = []
+
+        def after_handshake(c):
+            stream = c.open_stream()
+            c.send_stream_data(stream, b"lossy", fin=True)
+
+        connection.on_handshake_complete = after_handshake
+        connection.on_stream_data = lambda sid, data, fin: replies.append(data)
+        simulator.run(until=60.0)
+        assert replies and replies[0] == b"echo:lossy"
+        assert connection.statistics.retransmissions >= 0
+
+    def test_datagrams_are_delivered_unreliably_but_work_without_loss(self):
+        simulator, server_ep, client_ep, config, server_connections = _build()
+        connection = client_ep.connect(Address(SERVER, 4443), config)
+        received = []
+        connection.on_handshake_complete = lambda c: c.send_datagram_frame(b"unreliable")
+        simulator.run(until=1.0)
+        server_connections[0].on_datagram = received.append
+        connection.send_datagram_frame(b"second")
+        simulator.run(until=2.0)
+        assert received == [b"second"]
+        assert connection.statistics.datagrams_sent == 2
+
+    def test_idle_timeout_closes_connection(self):
+        simulator, server_ep, client_ep, _, _ = _build(idle=1.0)
+        config = ConnectionConfig(alpn_protocols=("moq-00",), idle_timeout=1.0)
+        connection = client_ep.connect(Address(SERVER, 4443), config)
+        closed = []
+        connection.on_closed = lambda code, reason: closed.append(reason)
+        simulator.run(until=10.0)
+        assert connection.closed
+        assert closed and "idle" in closed[0]
+
+    def test_keepalive_prevents_idle_timeout(self):
+        simulator, server_ep, client_ep, _, _ = _build()
+        config = ConnectionConfig(
+            alpn_protocols=("moq-00",), idle_timeout=1.0, keepalive_interval=0.4
+        )
+        connection = client_ep.connect(Address(SERVER, 4443), config)
+        simulator.run(until=5.0)
+        assert not connection.closed
+        assert connection.statistics.pings_sent >= 10
+
+    def test_explicit_close_notifies_peer(self):
+        simulator, server_ep, client_ep, config, server_connections = _build()
+        connection = client_ep.connect(Address(SERVER, 4443), config)
+        simulator.run(until=1.0)
+        connection.close(reason="done")
+        simulator.run(until=2.0)
+        assert connection.closed
+        assert server_connections[0].closed
+
+    def test_unreachable_server_gives_up_after_bounded_retries(self):
+        simulator = Simulator(seed=2)
+        network = Network(simulator)
+        network.add_host(CLIENT)
+        network.add_host(SERVER)  # no QUIC endpoint bound on the server
+        network.connect(CLIENT, SERVER, LinkConfig(delay=0.01))
+        endpoint = QuicEndpoint(network.host(CLIENT))
+        connection = endpoint.connect(Address(SERVER, 4443), ConnectionConfig(initial_rtt=0.02))
+        simulator.run(until=120.0)
+        assert connection.closed
+        assert simulator.pending_events == 0

@@ -1,0 +1,238 @@
+"""Tests for the synthetic workload models (toplist, TTLs, changes, zones, queries)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.types import RecordType
+from repro.workload.change_model import ChangeModel, ChangeModelConfig, DYNAMIC_TTL_THRESHOLD
+from repro.workload.queries import QueryModel, QueryModelConfig
+from repro.workload.toplist import PAPER_COVERAGE, SyntheticToplist, ToplistConfig
+from repro.workload.ttl_model import TTL_CLUSTERS, TtlModel
+from repro.workload.zones import WorkloadZones, ZoneBuildConfig
+
+
+@pytest.fixture(scope="module")
+def toplist() -> SyntheticToplist:
+    return SyntheticToplist(ToplistConfig(size=2000, seed=7))
+
+
+class TestTtlModel:
+    def test_samples_come_from_observed_clusters(self):
+        model = TtlModel()
+        rng = random.Random(1)
+        for rdtype in (RecordType.A, RecordType.AAAA, RecordType.HTTPS):
+            for _ in range(200):
+                assert model.sample(rdtype, rng) in TTL_CLUSTERS
+
+    def test_https_ttls_cluster_at_300(self):
+        model = TtlModel()
+        rng = random.Random(2)
+        samples = [model.sample(RecordType.HTTPS, rng) for _ in range(500)]
+        assert samples.count(300) / len(samples) > 0.9
+
+    def test_probability_normalised(self):
+        model = TtlModel()
+        total = sum(model.probability(RecordType.A, ttl) for ttl in TTL_CLUSTERS)
+        assert total == pytest.approx(1.0)
+
+    def test_invalid_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            TtlModel(weights={RecordType.A: {42: 1.0}})
+
+    def test_expected_counts_scale_with_population(self):
+        model = TtlModel()
+        counts = model.expected_counts(RecordType.A, 1000)
+        assert sum(counts.values()) == pytest.approx(1000)
+
+
+class TestToplist:
+    def test_population_size_and_ranks(self, toplist):
+        assert len(toplist) == 2000
+        assert toplist.domain(1).rank == 1
+        assert toplist.domain(2000).rank == 2000
+
+    def test_coverage_close_to_paper_fractions(self, toplist):
+        counts = toplist.count_by_type()
+        for rdtype, fraction in PAPER_COVERAGE.items():
+            observed = counts[rdtype] / len(toplist)
+            assert abs(observed - fraction) < 0.04, rdtype
+
+    def test_deterministic_given_seed(self):
+        first = SyntheticToplist(ToplistConfig(size=100, seed=3))
+        second = SyntheticToplist(ToplistConfig(size=100, seed=3))
+        assert [d.name for d in first] == [d.name for d in second]
+        assert [d.ttls for d in first] == [d.ttls for d in second]
+
+    def test_ttl_histogram_covers_only_clusters(self, toplist):
+        histogram = toplist.ttl_histogram(RecordType.A)
+        assert set(histogram) <= set(TTL_CLUSTERS)
+        assert sum(histogram.values()) == len(toplist.domains_with_type(RecordType.A))
+
+    def test_domains_have_unique_names(self, toplist):
+        names = [domain.name for domain in toplist]
+        assert len(set(names)) == len(names)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ToplistConfig(size=0)
+        with pytest.raises(ValueError):
+            ToplistConfig(coverage={RecordType.A: 1.5})
+
+
+class TestChangeModel:
+    def test_low_ttl_domains_change_frequently_high_ttl_rarely(self):
+        model = ChangeModel(ChangeModelConfig(seed=5))
+        low_changes = []
+        high_changes = []
+        for index in range(300):
+            low = model.process_for(index, ttl=60)
+            high = model.process_for(index + 1000, ttl=3600)
+            for _ in range(100):
+                low.advance()
+                high.advance()
+            low_changes.append(low.changes)
+            high_changes.append(high.changes)
+        low_changes.sort()
+        high_changes.sort()
+        assert low_changes[int(0.9 * len(low_changes))] >= 20
+        assert high_changes[int(0.9 * len(high_changes))] == 0
+
+    def test_lexicographic_stability_of_current_sorted(self):
+        model = ChangeModel()
+        process = model.process_for(1, ttl=300)
+        first = process.current_sorted()
+        assert first == tuple(sorted(process.current_addresses()))
+
+    def test_change_produces_different_address_set(self):
+        model = ChangeModel(ChangeModelConfig(seed=1, dynamic_fraction_low_ttl=1.0,
+                                              dynamic_change_range=(1.0, 1.0)))
+        process = model.process_for(3, ttl=60)
+        before = process.current_sorted()
+        assert process.advance() is True
+        assert process.current_sorted() != before
+
+    def test_processes_are_deterministic_per_domain(self):
+        model = ChangeModel(ChangeModelConfig(seed=9))
+        first = model.process_for(11, ttl=300)
+        second = model.process_for(11, ttl=300)
+        for _ in range(20):
+            first.advance()
+            second.advance()
+        assert first.current_sorted() == second.current_sorted()
+        assert first.changes == second.changes
+
+    def test_mean_change_interval(self):
+        model = ChangeModel()
+        process = model.process_for(2, ttl=300)
+        if process.change_probability > 0:
+            assert process.mean_change_interval() == pytest.approx(
+                300 / process.change_probability
+            )
+        static = ChangeModelConfig(dynamic_fraction_low_ttl=0.0)
+        static_process = ChangeModel(static).process_for(2, ttl=300)
+        assert static_process.mean_change_interval() == float("inf")
+
+    def test_dynamic_fraction_threshold(self):
+        model = ChangeModel()
+        assert model.dynamic_fraction(DYNAMIC_TTL_THRESHOLD) > model.dynamic_fraction(600)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ChangeModelConfig(dynamic_change_range=(0.9, 0.1))
+
+
+class TestWorkloadZones:
+    @pytest.fixture(scope="class")
+    def zones(self) -> WorkloadZones:
+        toplist = SyntheticToplist(ToplistConfig(size=50, seed=3))
+        return WorkloadZones(toplist, config=ZoneBuildConfig(auth_server_count=3))
+
+    def test_root_zone_delegates_every_tld(self, zones):
+        for tld in zones.toplist.tld_names():
+            assert zones.root_zone.get_rrset(Name.from_text(f"{tld}."), RecordType.NS) is not None
+
+    def test_tld_zones_delegate_every_domain_with_glue(self, zones):
+        for domain in zones.toplist.domains():
+            tld = domain.name.labels[-1].decode("ascii")
+            tld_zone = zones.tld_zones[tld]
+            assert tld_zone.get_rrset(domain.name, RecordType.NS) is not None
+            assignment = zones.assignment(domain.name)
+            ns_name = Name((b"ns1",) + domain.name.labels)
+            glue = tld_zone.get_rrset(ns_name, RecordType.A)
+            assert glue is not None
+            assert glue.records[0].rdata.to_text() == assignment.auth_host
+
+    def test_authoritative_zones_carry_declared_record_types(self, zones):
+        for domain in zones.toplist.domains():
+            zone = zones.assignment(domain.name).zone
+            for rdtype in domain.record_types:
+                assert zone.get_rrset(domain.name, rdtype) is not None, (domain.name, rdtype)
+
+    def test_advance_domain_applies_changes_and_bumps_serial(self, zones):
+        changed_any = False
+        for domain in zones.toplist.domains_with_type(RecordType.A):
+            assignment = zones.assignment(domain.name)
+            serial_before = assignment.zone.serial
+            rrset_before = assignment.zone.get_rrset(domain.name, RecordType.A)
+            texts_before = rrset_before.sorted_rdata_texts()
+            for _ in range(20):
+                if zones.advance_domain(domain.name):
+                    changed_any = True
+                    rrset_after = assignment.zone.get_rrset(domain.name, RecordType.A)
+                    assert rrset_after.sorted_rdata_texts() != texts_before
+                    assert assignment.zone.serial > serial_before
+                    break
+            if changed_any:
+                break
+        assert changed_any, "at least one domain must change within 20 observations"
+
+    def test_all_hosts_cover_root_tlds_and_auths(self, zones):
+        hosts = zones.all_hosts()
+        assert "198.41.0.4" in hosts
+        assert len(hosts) >= 1 + len(zones.tld_zones)
+
+
+class TestQueryModel:
+    def test_zipf_popularity_prefers_top_ranks(self):
+        toplist = SyntheticToplist(ToplistConfig(size=500, seed=5))
+        model = QueryModel(toplist, QueryModelConfig(seed=1))
+        samples = [model.sample_domain().rank for _ in range(3000)]
+        top_100 = sum(1 for rank in samples if rank <= 100)
+        assert top_100 / len(samples) > 0.5
+
+    def test_generated_stream_is_sorted_and_bounded(self):
+        toplist = SyntheticToplist(ToplistConfig(size=100, seed=5))
+        model = QueryModel(toplist, QueryModelConfig(queries_per_second=5.0, seed=2))
+        events = model.generate(duration=60.0, client_seed=1)
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        assert all(0 <= time < 60.0 for time in times)
+        assert 100 < len(events) < 600
+        assert model.unique_domains(events) <= 100
+
+    def test_sample_type_respects_domain_capabilities(self):
+        toplist = SyntheticToplist(ToplistConfig(size=200, seed=5))
+        model = QueryModel(toplist)
+        for domain in toplist.domains()[:50]:
+            if not domain.record_types:
+                continue
+            rdtype = model.sample_type(domain)
+            assert rdtype in domain.record_types
+
+    def test_zero_rate_yields_empty_stream(self):
+        toplist = SyntheticToplist(ToplistConfig(size=10, seed=5))
+        model = QueryModel(toplist, QueryModelConfig(queries_per_second=0.0))
+        assert model.generate(10.0) == []
+
+    def test_streams_deterministic_per_client_seed(self):
+        toplist = SyntheticToplist(ToplistConfig(size=100, seed=5))
+        model = QueryModel(toplist, QueryModelConfig(seed=3))
+        first = model.generate(30.0, client_seed=9)
+        second = model.generate(30.0, client_seed=9)
+        assert [(e.time, e.domain.rank, e.rdtype) for e in first] == [
+            (e.time, e.domain.rank, e.rdtype) for e in second
+        ]
