@@ -1,0 +1,38 @@
+"""Benchmark the relay fan-out experiment (E11, §3/§5.3).
+
+Times the three-tier CDN hierarchy at growing subscriber counts and attaches
+the measured-vs-model table.  The assertions pin the paper's scalability
+claim: origin egress stays at O(branching factor) while the subscriber
+population — and the unicast baseline — grows by two orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from conftest import attach
+
+from repro.experiments.relay_fanout import run_relay_fanout
+from repro.experiments.report import format_table
+
+
+def test_relay_fanout_tree(benchmark):
+    """§3: a 3-tier relay tree keeps origin egress independent of subscribers."""
+
+    def run():
+        return run_relay_fanout(subscriber_counts=(10, 100, 1000), updates=5)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = format_table(result.rows())
+    tiers = format_table(result.tier_rows())
+    attach(benchmark, fanout_table=summary, tier_table=tiers,
+           bytes_per_update=result.bytes_per_update)
+    print("\nE11 — relay fan-out (origin egress vs subscriber count)\n" + summary)
+    print("\nPer-tier link traffic, measured vs model\n" + tiers)
+
+    first, last = result.samples[0], result.samples[-1]
+    # Origin egress is O(branching factor): identical across a 100x
+    # subscriber range, while the unicast baseline grows linearly.
+    assert first.measured_origin_objects == last.measured_origin_objects
+    assert last.model.unicast_messages == 100 * first.model.unicast_messages
+    for sample in result.samples:
+        assert sample.delivered_objects == sample.subscribers * sample.updates
+        assert sample.max_tier_byte_deviation <= 0.10

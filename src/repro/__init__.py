@@ -26,6 +26,13 @@ Exploring Media over QUIC Transport for DNS" (HotNets '25).  It contains:
     MoQT nameserver, a recursive MoQT resolver, a forwarder, subscription
     management, and compatibility fallbacks.
 
+``repro.relaynet``
+    Hierarchical relay fan-out trees (§3, §5.3): declarative tree specs
+    (star, k-ary, CDN origin/mid/edge), a builder that instantiates tiered
+    ``MoqtRelay`` hierarchies on the simulated network, and per-tier
+    statistics aggregation — the subsystem that scales one authoritative
+    server to CDN-sized subscriber populations.
+
 ``repro.workload`` / ``repro.measurement`` / ``repro.analysis`` /
 ``repro.experiments``
     Workload models calibrated to the paper's measurement study, the

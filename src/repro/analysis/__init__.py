@@ -14,7 +14,9 @@ with the corresponding model here, so discrepancies are caught by tests.
 * :mod:`repro.analysis.usecases` — the §5.3 back-of-envelope estimates
   (Dynamic DNS, CDN load balancing, deep space);
 * :mod:`repro.analysis.state_overhead` — per-endpoint state accounting for
-  the §5.1 discussion.
+  the §5.1 discussion;
+* :mod:`repro.analysis.fanout` — unicast vs. relay-tree per-tier update
+  traffic for the §3 fan-out argument.
 """
 
 from repro.analysis.latency_model import (
@@ -47,6 +49,13 @@ from repro.analysis.state_overhead import (
     endpoint_state_bytes,
     state_comparison,
 )
+from repro.analysis.fanout import (
+    FanoutModel,
+    fanout_model,
+    unicast_origin_messages,
+    tier_ingress_messages,
+    relative_deviation,
+)
 
 __all__ = [
     "TransportScenario",
@@ -69,4 +78,9 @@ __all__ = [
     "StateModel",
     "endpoint_state_bytes",
     "state_comparison",
+    "FanoutModel",
+    "fanout_model",
+    "unicast_origin_messages",
+    "tier_ingress_messages",
+    "relative_deviation",
 ]

@@ -17,6 +17,7 @@ drivers; ``EXPERIMENTS.md`` records paper-vs-measured for each.
 | E7/E8 | §5.3 use-case estimates | :mod:`repro.experiments.usecases` |
 | E9 | §5.1 state overhead | :mod:`repro.experiments.state_overhead` |
 | E10 | §4.5 compatibility | :mod:`repro.experiments.compatibility` |
+| E11 | §3/§5.3 relay fan-out | :mod:`repro.experiments.relay_fanout` |
 """
 
 from repro.experiments.topology import SmallTopology, SmallTopologyConfig

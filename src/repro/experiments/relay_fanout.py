@@ -1,0 +1,281 @@
+"""E11 — relay fan-out: origin egress vs. subscriber count (§3, §5.3).
+
+The paper argues that payload-oblivious relays let one authoritative server
+serve millions of resolvers: arranged in a tree, every tier multiplies the
+fan-out while the origin only ever pushes one copy per direct child.  This
+experiment builds a three-tier CDN hierarchy (origin -> mid -> edge ->
+subscribers) with :mod:`repro.relaynet`, scales the subscriber population,
+pushes a batch of record updates, and compares the measured per-tier link
+traffic against the closed-form model in :mod:`repro.analysis.fanout`:
+
+* the objects entering each tier must equal ``receivers x updates``;
+* origin egress must stay constant (O(branching factor)) as subscribers
+  grow — the unicast baseline grows linearly instead;
+* wire bytes per tier must match ``messages x bytes_per_update``, where the
+  per-update wire size is calibrated once from a minimal one-relay,
+  one-subscriber run.
+
+Everything runs on the deterministic simulator, so repeated runs (same seed)
+produce identical byte counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.fanout import FanoutModel, fanout_model, relative_deviation
+from repro.moqt.objectmodel import MoqtObject, TrackState
+from repro.moqt.relay import MOQT_ALPN
+from repro.moqt.session import FetchResult, MoqtSession, SubscribeResult
+from repro.moqt.track import FullTrackName
+from repro.netsim.network import Network
+from repro.netsim.packet import Address
+from repro.netsim.simulator import Simulator
+from repro.quic.endpoint import QuicEndpoint
+from repro.quic.tls import ServerTlsContext
+from repro.relaynet import RelayNetStats, RelayTreeBuilder, RelayTreeSpec
+
+TRACK = FullTrackName.of(["dns", "a"], b"cdn.example")
+ORIGIN_HOST = "origin"
+ORIGIN_PORT = 4443
+
+#: Virtual time between pushed updates (keeps pushes distinguishable in
+#: traces without affecting byte counts — links have no bandwidth limit).
+UPDATE_INTERVAL = 0.25
+
+
+class OriginPublisher:
+    """Origin publisher delegate serving one DNS track to the top tier."""
+
+    def __init__(self) -> None:
+        self.state = TrackState(TRACK)
+        self.state.publish(MoqtObject(group_id=1, object_id=0, payload=b"v1"))
+        self.sessions: list[MoqtSession] = []
+
+    def handle_subscribe(self, session, message):
+        return SubscribeResult(ok=True, largest=self.state.largest)
+
+    def handle_fetch(self, session, message, full_track_name):
+        return FetchResult(
+            ok=True, objects=self.state.latest_objects(1), largest=self.state.largest
+        )
+
+    def push(self, obj: MoqtObject) -> None:
+        """Record and push one update to every direct (top-tier) subscriber."""
+        self.state.publish(obj)
+        for session in self.sessions:
+            if session.closed:
+                continue
+            for subscription in session.publisher_subscriptions():
+                session.publish(subscription, obj)
+
+    @property
+    def objects_sent(self) -> int:
+        """Objects the origin pushed over all its sessions."""
+        return sum(session.statistics.objects_sent for session in self.sessions)
+
+
+def build_origin(network: Network, publisher: OriginPublisher | None = None) -> OriginPublisher:
+    """Create the origin host with a MoQT server wired to ``publisher``."""
+    host = network.add_host(ORIGIN_HOST)
+    if publisher is None:
+        publisher = OriginPublisher()
+    QuicEndpoint(
+        host,
+        port=ORIGIN_PORT,
+        server_tls=ServerTlsContext(alpn_protocols=(MOQT_ALPN,)),
+        on_connection=lambda connection: publisher.sessions.append(
+            MoqtSession(connection, is_client=False, publisher_delegate=publisher)
+        ),
+    )
+    return publisher
+
+
+def _update_payload(group_id: int, payload_size: int) -> bytes:
+    stem = f"update-{group_id}-".encode()
+    return (stem * (payload_size // len(stem) + 1))[:payload_size]
+
+
+def _run_tree(
+    spec: RelayTreeSpec,
+    subscribers: int,
+    updates: int,
+    payload_size: int,
+    seed: int,
+) -> tuple[RelayNetStats, int, int]:
+    """Build the tree, push ``updates`` objects, return the update-window
+    statistics delta, the origin's pushed-object count and the number of
+    objects delivered to subscribers."""
+    simulator = Simulator(seed=seed)
+    network = Network(simulator)
+    publisher = build_origin(network)
+    tree = RelayTreeBuilder(network, Address(ORIGIN_HOST, ORIGIN_PORT)).build(spec)
+    tree.attach_subscribers(subscribers)
+    delivered = [0]
+    tree.subscribe_all(TRACK, on_object=lambda subscriber, obj: delivered.__setitem__(0, delivered[0] + 1))
+    simulator.run(until=simulator.now + 3.0)
+
+    before = RelayNetStats.collect(tree)
+    origin_before = publisher.objects_sent
+    delivered_before = delivered[0]
+    for update in range(updates):
+        publisher.push(
+            MoqtObject(
+                group_id=update + 2,
+                object_id=0,
+                payload=_update_payload(update + 2, payload_size),
+            )
+        )
+        simulator.run(until=simulator.now + UPDATE_INTERVAL)
+    simulator.run(until=simulator.now + 3.0)
+    delta = RelayNetStats.collect(tree).delta(before)
+    return delta, publisher.objects_sent - origin_before, delivered[0] - delivered_before
+
+
+def calibrate_bytes_per_update(payload_size: int, updates: int = 4, seed: int = 17) -> float:
+    """Measure the wire bytes of one pushed update on a minimal tree.
+
+    A one-relay, one-subscriber star carries exactly one copy of every update
+    on its subscriber link, so the link-byte delta over the update window
+    divided by the update count is the per-update wire size (payload plus
+    subgroup-stream and QUIC framing) the fan-out model scales up.
+    """
+    delta, _, delivered = _run_tree(
+        RelayTreeSpec.star(relays=1), 1, updates, payload_size, seed
+    )
+    if delivered != updates:
+        raise RuntimeError(f"calibration run lost updates: {delivered}/{updates}")
+    return delta.subscriber_link_bytes / updates
+
+
+@dataclass
+class FanoutSample:
+    """Measured and modelled traffic for one subscriber count."""
+
+    subscribers: int
+    updates: int
+    tier_names: tuple[str, ...]
+    measured_tier_bytes: tuple[int, ...]
+    measured_tier_objects: tuple[int, ...]
+    measured_origin_objects: int
+    delivered_objects: int
+    model: FanoutModel
+
+    @property
+    def max_tier_byte_deviation(self) -> float:
+        """Largest relative error between measured and modelled tier bytes."""
+        return max(
+            relative_deviation(measured, predicted)
+            for measured, predicted in zip(self.measured_tier_bytes, self.model.tier_bytes())
+        )
+
+    @property
+    def origin_egress_bytes(self) -> int:
+        """Measured bytes the origin sent into the top tier."""
+        return self.measured_tier_bytes[0]
+
+    def as_row(self) -> dict[str, object]:
+        """Summary row: origin egress scaling and model agreement."""
+        return {
+            "subscribers": self.subscribers,
+            "updates": self.updates,
+            "origin_objects": self.measured_origin_objects,
+            "model_origin": self.model.origin_messages,
+            "unicast_origin": self.model.unicast_messages,
+            "origin_bytes": self.origin_egress_bytes,
+            "model_origin_bytes": round(self.model.origin_egress_bytes),
+            "reduction_x": round(self.model.origin_reduction_factor, 2),
+            "delivered": self.delivered_objects,
+            "expected": self.subscribers * self.updates,
+            "max_tier_dev": round(self.max_tier_byte_deviation, 4),
+        }
+
+    def tier_rows(self) -> list[dict[str, object]]:
+        """One row per tier: measured vs. modelled messages and bytes."""
+        rows = []
+        for name, measured_bytes, measured_objects, model_messages, model_bytes in zip(
+            self.tier_names,
+            self.measured_tier_bytes,
+            self.measured_tier_objects,
+            self.model.tier_messages(),
+            self.model.tier_bytes(),
+        ):
+            rows.append(
+                {
+                    "subscribers": self.subscribers,
+                    "tier": name,
+                    "objects": measured_objects,
+                    "model_objects": model_messages,
+                    "link_bytes": measured_bytes,
+                    "model_bytes": round(model_bytes),
+                    "deviation": round(
+                        relative_deviation(measured_bytes, model_bytes), 4
+                    ),
+                }
+            )
+        return rows
+
+
+@dataclass
+class RelayFanoutResult:
+    """All samples of the fan-out experiment plus the calibrated unit size."""
+
+    samples: list[FanoutSample]
+    bytes_per_update: float
+    mid_relays: int
+    edge_per_mid: int
+
+    def rows(self) -> list[dict[str, object]]:
+        """Per-sample summary rows."""
+        return [sample.as_row() for sample in self.samples]
+
+    def tier_rows(self) -> list[dict[str, object]]:
+        """Per-tier detail rows across all samples."""
+        return [row for sample in self.samples for row in sample.tier_rows()]
+
+
+def run_relay_fanout(
+    subscriber_counts: tuple[int, ...] = (10, 100, 1000),
+    updates: int = 5,
+    mid_relays: int = 4,
+    edge_per_mid: int = 4,
+    payload_size: int = 300,
+    seed: int = 7,
+) -> RelayFanoutResult:
+    """Run the fan-out experiment over a range of subscriber counts.
+
+    Every sample uses the same three-tier CDN tree (``mid_relays`` mid
+    relays, ``mid_relays * edge_per_mid`` edge relays), so origin egress
+    staying flat across samples while subscribers grow two orders of
+    magnitude is the tree doing its job.
+    """
+    bytes_per_update = calibrate_bytes_per_update(payload_size, seed=seed + 1)
+    samples: list[FanoutSample] = []
+    for count in subscriber_counts:
+        spec = RelayTreeSpec.cdn(mid_relays=mid_relays, edge_per_mid=edge_per_mid)
+        delta, origin_objects, delivered = _run_tree(
+            spec, count, updates, payload_size, seed
+        )
+        measured_bytes = delta.tier_uplink_bytes() + (delta.subscriber_link_bytes,)
+        measured_objects = tuple(tier.objects_received for tier in delta.tiers) + (
+            delta.subscriber_objects_received,
+        )
+        model = fanout_model(count, updates, spec.tier_sizes(), bytes_per_update)
+        samples.append(
+            FanoutSample(
+                subscribers=count,
+                updates=updates,
+                tier_names=tuple(tier.name for tier in spec.tiers) + ("subscribers",),
+                measured_tier_bytes=measured_bytes,
+                measured_tier_objects=measured_objects,
+                measured_origin_objects=origin_objects,
+                delivered_objects=delivered,
+                model=model,
+            )
+        )
+    return RelayFanoutResult(
+        samples=samples,
+        bytes_per_update=bytes_per_update,
+        mid_relays=mid_relays,
+        edge_per_mid=edge_per_mid,
+    )

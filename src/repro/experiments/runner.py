@@ -16,6 +16,7 @@ from repro.experiments.fig1a import run_fig1a
 from repro.experiments.fig1b import run_fig1b
 from repro.experiments.fig2_sequence import run_fig2
 from repro.experiments.query_latency import run_query_latency
+from repro.experiments.relay_fanout import run_relay_fanout
 from repro.experiments.report import format_table
 from repro.experiments.staleness import run_staleness
 from repro.experiments.state_overhead import run_state_overhead
@@ -85,6 +86,16 @@ def run_all(fast: bool = True) -> list[ExperimentReport]:
     reports.append(
         ExperimentReport("E10", "§4.5 — compatibility / incremental deployment",
                          format_table(compatibility.rows()), compatibility)
+    )
+    fanout = run_relay_fanout(
+        subscriber_counts=(10, 50) if fast else (10, 100, 1000),
+        updates=3 if fast else 5,
+        mid_relays=2 if fast else 4,
+        edge_per_mid=2 if fast else 4,
+    )
+    reports.append(
+        ExperimentReport("E11", "§3/§5.3 — relay fan-out: origin egress vs subscribers",
+                         format_table(fanout.rows()), fanout)
     )
     return reports
 

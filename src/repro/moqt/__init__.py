@@ -32,7 +32,7 @@ from repro.moqt.session import (
     SubscribeResult,
     FetchResult,
 )
-from repro.moqt.relay import MoqtRelay
+from repro.moqt.relay import MoqtRelay, RelayStatistics, RelayTrack
 from repro.moqt.errors import MoqtError, SubscribeErrorCode, FetchErrorCode
 
 __all__ = [
@@ -50,6 +50,8 @@ __all__ = [
     "SubscribeResult",
     "FetchResult",
     "MoqtRelay",
+    "RelayStatistics",
+    "RelayTrack",
     "MoqtError",
     "SubscribeErrorCode",
     "FetchErrorCode",

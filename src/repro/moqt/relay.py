@@ -14,7 +14,15 @@ The relay implemented here:
   creates a single upstream subscription, later ones share it;
 * caches objects per track so FETCH requests can be answered locally once at
   least one object has been seen, and forwards FETCHes upstream otherwise;
-* forwards every received object to all downstream subscribers of the track.
+* forwards every received object to all downstream subscribers of the track;
+* tears the upstream subscription down again once the last downstream
+  subscriber has unsubscribed or disconnected, so no per-track state leaks
+  (§5.1);
+* chains: because a relay's upstream may itself be a relay, trees of relays
+  compose — each tier aggregates its subtree into a single upstream
+  subscription, which is the fan-out structure §3 and the §5.3 CDN /
+  deep-space use cases rely on.  :mod:`repro.relaynet` builds and measures
+  such multi-tier hierarchies declaratively.
 """
 
 from __future__ import annotations
@@ -59,6 +67,9 @@ class RelayTrack:
     cache: TrackState
     upstream_subscription: Subscription | None = None
     downstream: list[_DownstreamSubscriber] = field(default_factory=list)
+    #: Downstream subscribes deferred until the upstream answers; they all
+    #: share the upstream subscription's outcome.
+    awaiting_upstream: list[_DownstreamSubscriber] = field(default_factory=list)
     objects_forwarded: int = 0
 
 
@@ -68,7 +79,9 @@ class RelayStatistics:
 
     downstream_sessions: int = 0
     downstream_subscribes: int = 0
+    downstream_unsubscribes: int = 0
     upstream_subscribes: int = 0
+    upstream_unsubscribes: int = 0
     objects_received: int = 0
     objects_forwarded: int = 0
     fetches_served_from_cache: int = 0
@@ -84,9 +97,13 @@ class MoqtRelay:
         The simulated host the relay runs on.
     upstream:
         Address of the upstream MoQT endpoint (origin publisher or another
-        relay).
+        relay — relays compose into trees).
     port:
         Port to accept downstream sessions on.
+    tier:
+        Optional label naming the relay's tier in a hierarchy (e.g. ``"edge"``
+        or ``"mid"``); purely informational, used by
+        :class:`repro.relaynet.RelayNetStats` to aggregate counters per tier.
     """
 
     def __init__(
@@ -95,14 +112,20 @@ class MoqtRelay:
         upstream: Address,
         port: int = DEFAULT_MOQT_PORT,
         session_config: MoqtSessionConfig | None = None,
+        tier: str = "",
     ) -> None:
         self.host = host
         self.simulator = host.simulator
         self.upstream_address = upstream
+        self.tier = tier
         self.session_config = session_config if session_config is not None else MoqtSessionConfig()
         self.statistics = RelayStatistics()
         self._tracks: dict[FullTrackName, RelayTrack] = {}
         self._downstream_sessions: list[MoqtSession] = []
+        #: Which track each downstream subscription belongs to, grouped by
+        #: session — unsubscribes touch only their own track and session
+        #: closes only their own subscriptions, with no scanning either way.
+        self._downstream_index: dict[MoqtSession, dict[int, RelayTrack]] = {}
         self._upstream_session: MoqtSession | None = None
 
         self._server_endpoint = QuicEndpoint(
@@ -125,6 +148,7 @@ class MoqtRelay:
             is_client=False,
             config=self.session_config,
             publisher_delegate=_RelayDelegate(self),
+            on_closed=self._on_downstream_closed,
         )
         self._downstream_sessions.append(session)
         self.statistics.downstream_sessions += 1
@@ -132,6 +156,13 @@ class MoqtRelay:
     def downstream_sessions(self) -> list[MoqtSession]:
         """All downstream sessions accepted so far."""
         return list(self._downstream_sessions)
+
+    def _on_downstream_closed(self, session: MoqtSession, reason: str) -> None:
+        """Drop every subscription a departed downstream session held."""
+        if session in self._downstream_sessions:
+            self._downstream_sessions.remove(session)
+        for request_id in list(self._downstream_index.get(session, {})):
+            self._remove_downstream(session, request_id)
 
     # ------------------------------------------------------------- upstream side
     def _ensure_upstream_session(self) -> MoqtSession:
@@ -142,9 +173,41 @@ class MoqtRelay:
             ConnectionConfig(alpn_protocols=(MOQT_ALPN,)),
         )
         self._upstream_session = MoqtSession(
-            connection, is_client=True, config=self.session_config
+            connection,
+            is_client=True,
+            config=self.session_config,
+            on_closed=self._on_upstream_closed,
         )
         return self._upstream_session
+
+    def _on_upstream_closed(self, session: MoqtSession, reason: str) -> None:
+        """Fail every subscription riding the dead upstream session.
+
+        Without this, a lost uplink would wedge its tracks permanently:
+        ``upstream_subscription`` would stay 'pending' forever, every later
+        downstream SUBSCRIBE would be deferred into ``awaiting_upstream`` with
+        no answer, and recovery could never start.  Clearing the state errors
+        the waiters and lets the next subscriber retry over a fresh session.
+        """
+        if session is not self._upstream_session:
+            return
+        result = SubscribeResult(
+            ok=False,
+            error_code=SubscribeErrorCode.INTERNAL_ERROR,
+            reason=f"upstream session closed: {reason}" if reason else "upstream session closed",
+        )
+        for track in self._tracks.values():
+            if track.upstream_subscription is None:
+                continue
+            track.upstream_subscription = None
+            waiting, track.awaiting_upstream = track.awaiting_upstream, []
+            for waiter in waiting:
+                if waiter in track.downstream:
+                    track.downstream.remove(waiter)
+                    self._drop_index_entry(waiter.session, waiter.request_id)
+                if waiter.session.closed:
+                    continue
+                waiter.session.complete_subscribe(waiter.request_id, result)
 
     def _track_for(self, full_track_name: FullTrackName) -> RelayTrack:
         track = self._tracks.get(full_track_name)
@@ -165,33 +228,109 @@ class MoqtRelay:
     ) -> SubscribeResult | None:
         self.statistics.downstream_subscribes += 1
         track = self._track_for(message.full_track_name)
-        track.downstream.append(_DownstreamSubscriber(session, message.request_id))
+        subscriber = _DownstreamSubscriber(session, message.request_id)
+        track.downstream.append(subscriber)
+        self._downstream_index.setdefault(session, {})[message.request_id] = track
         if track.upstream_subscription is None:
             # First subscriber for this track: aggregate into one upstream
             # subscription and answer the downstream once it is accepted.
+            track.awaiting_upstream.append(subscriber)
             upstream = self._ensure_upstream_session()
             self.statistics.upstream_subscribes += 1
-
-            def on_upstream_response(subscription: Subscription) -> None:
-                if subscription.is_active:
-                    result = SubscribeResult(ok=True, largest=subscription.largest)
-                else:
-                    result = SubscribeResult(
-                        ok=False,
-                        error_code=SubscribeErrorCode(subscription.error_code)
-                        if subscription.error_code in SubscribeErrorCode._value2member_map_
-                        else SubscribeErrorCode.INTERNAL_ERROR,
-                        reason=subscription.error_reason,
-                    )
-                session.complete_subscribe(message.request_id, result)
-
             track.upstream_subscription = upstream.subscribe(
                 message.full_track_name,
                 on_object=lambda obj, t=track: self._on_upstream_object(t, obj),
-                on_response=on_upstream_response,
+                on_response=lambda subscription, t=track: self._on_upstream_response(
+                    t, subscription
+                ),
             )
             return None
+        if track.upstream_subscription.state == "pending":
+            # Joiners during the upstream round trip must share its outcome —
+            # answering ok optimistically would strand them on a dead track
+            # if the upstream rejects.
+            track.awaiting_upstream.append(subscriber)
+            return None
         return SubscribeResult(ok=True, largest=track.cache.largest)
+
+    def _on_upstream_response(self, track: RelayTrack, subscription: Subscription) -> None:
+        if track.upstream_subscription is not subscription:
+            # Stale answer: this upstream subscription was already torn down
+            # (its last subscriber left while the answer was in flight).  Any
+            # current waiters belong to a replacement subscription and will be
+            # answered by *its* response.
+            return
+        waiting, track.awaiting_upstream = track.awaiting_upstream, []
+        if subscription.is_active:
+            result = SubscribeResult(ok=True, largest=subscription.largest)
+        else:
+            # The upstream rejected the track: release the errored upstream
+            # subscription and every waiting downstream entry, so a later
+            # subscriber retries upstream instead of being served from a
+            # permanently dead track.
+            result = SubscribeResult(
+                ok=False,
+                error_code=SubscribeErrorCode(subscription.error_code)
+                if subscription.error_code in SubscribeErrorCode._value2member_map_
+                else SubscribeErrorCode.INTERNAL_ERROR,
+                reason=subscription.error_reason,
+            )
+            track.upstream_subscription = None
+        for waiter in waiting:
+            if not subscription.is_active and waiter in track.downstream:
+                track.downstream.remove(waiter)
+                self._drop_index_entry(waiter.session, waiter.request_id)
+            if waiter.session.closed:
+                continue  # downstream left before the upstream answered
+            waiter.session.complete_subscribe(waiter.request_id, result)
+
+    def _handle_downstream_unsubscribe(self, session: MoqtSession, request_id: int) -> None:
+        """Release the downstream subscription and the upstream one if idle."""
+        self.statistics.downstream_unsubscribes += 1
+        self._remove_downstream(session, request_id)
+
+    def _drop_index_entry(self, session: MoqtSession, request_id: int) -> RelayTrack | None:
+        """Remove one index entry, pruning the session's dict when empty."""
+        requests = self._downstream_index.get(session)
+        if requests is None:
+            return None
+        track = requests.pop(request_id, None)
+        if not requests:
+            del self._downstream_index[session]
+        return track
+
+    def _remove_downstream(self, session: MoqtSession, request_id: int) -> None:
+        """Drop one downstream subscription from its track (index-guided)."""
+        track = self._drop_index_entry(session, request_id)
+        if track is None:
+            return
+        track.awaiting_upstream = [
+            sub
+            for sub in track.awaiting_upstream
+            if not (sub.session is session and sub.request_id == request_id)
+        ]
+        track.downstream = [
+            sub
+            for sub in track.downstream
+            if not (sub.session is session and sub.request_id == request_id)
+        ]
+        self._teardown_upstream_if_idle(track)
+
+    def _teardown_upstream_if_idle(self, track: RelayTrack) -> None:
+        """Unsubscribe upstream once no downstream subscriber needs the track.
+
+        Without this, every track a subscriber ever asked for would keep one
+        upstream subscription alive forever — exactly the state leak §5.1
+        warns about.  The cached objects are kept so a returning subscriber's
+        FETCH can still be served locally.
+        """
+        if track.downstream or track.upstream_subscription is None:
+            return
+        subscription = track.upstream_subscription
+        track.upstream_subscription = None
+        self.statistics.upstream_unsubscribes += 1
+        if self._upstream_session is not None and not self._upstream_session.closed:
+            self._upstream_session.unsubscribe(subscription)
 
     def _on_upstream_object(self, track: RelayTrack, obj: MoqtObject) -> None:
         self.statistics.objects_received += 1
@@ -202,6 +341,8 @@ class MoqtRelay:
         for subscriber in list(track.downstream):
             if subscriber.session.closed:
                 track.downstream.remove(subscriber)
+                self._drop_index_entry(subscriber.session, subscriber.request_id)
+                self._teardown_upstream_if_idle(track)
                 continue
             publisher_subscription = subscriber.session.publisher_subscription(
                 subscriber.request_id
@@ -290,3 +431,6 @@ class _RelayDelegate:
         self, session: MoqtSession, message: Fetch, full_track_name: FullTrackName | None
     ) -> FetchResult | None:
         return self._relay._handle_downstream_fetch(session, message, full_track_name)
+
+    def handle_unsubscribe(self, session: MoqtSession, request_id: int) -> None:
+        self._relay._handle_downstream_unsubscribe(session, request_id)

@@ -130,6 +130,12 @@ class PublisherDelegate(Protocol):
         """Produce the objects for a fetch (``full_track_name`` resolved for
         joining fetches), or ``None`` to defer."""
 
+    # Delegates may additionally implement
+    # ``handle_unsubscribe(session, request_id)``; when present it is invoked
+    # after an UNSUBSCRIBE tears down the publisher-side subscription, so
+    # aggregating publishers (relays) can release per-subscriber state and
+    # propagate the teardown upstream (§5.1 state clean-up).
+
 
 @dataclass
 class Subscription:
@@ -353,11 +359,20 @@ class MoqtSession:
         return subscription
 
     def unsubscribe(self, subscription: Subscription) -> None:
-        """Tear down a subscription (§4.4 clean-up)."""
+        """Tear down a subscription (§4.4 clean-up).
+
+        The subscription is dropped from the session's routing maps
+        immediately: late in-flight objects for the dead track alias are
+        discarded, and long-lived sessions that churn through
+        subscribe/unsubscribe cycles (a relay's upstream session) do not
+        accumulate dead entries — the §5.1 state argument depends on this.
+        """
         self._require_open()
         if subscription.request_id not in self._subscriptions:
             return
         subscription.state = "done"
+        self._subscriptions.pop(subscription.request_id, None)
+        self._subscriptions_by_alias.pop(subscription.track_alias, None)
         self._when_ready(lambda: self._send_control(Unsubscribe(subscription.request_id)))
 
     def fetch(
@@ -730,6 +745,10 @@ class MoqtSession:
         self._send_fetch_objects(message.request_id, result.objects)
 
     def _handle_unsubscribe(self, message: Unsubscribe) -> None:
+        # The subscribe being unsubscribed may still be deferred (the
+        # delegate has not answered yet).  Dropping the pending entry keeps a
+        # late complete_subscribe from resurrecting the departed subscriber.
+        pending = self._pending_incoming_subscribes.pop(message.request_id, None)
         subscription = self._publisher_subscriptions.pop(message.request_id, None)
         if subscription is not None:
             self._send_control(
@@ -740,6 +759,10 @@ class MoqtSession:
                     reason="unsubscribed",
                 )
             )
+        if pending is not None or subscription is not None:
+            handler = getattr(self.publisher_delegate, "handle_unsubscribe", None)
+            if handler is not None:
+                handler(self, message.request_id)
 
     # Subscriber side of responses ---------------------------------------------
     def _handle_subscribe_ok(self, message: SubscribeOk) -> None:
@@ -763,6 +786,10 @@ class MoqtSession:
         subscription.responded_at = self._simulator.now
         subscription.error_code = message.error_code
         subscription.error_reason = message.reason
+        # A rejected subscription is as dead as an unsubscribed one: drop it
+        # from the routing maps so retry churn cannot accumulate state.
+        self._subscriptions.pop(message.request_id, None)
+        self._subscriptions_by_alias.pop(subscription.track_alias, None)
         if subscription.on_response is not None:
             subscription.on_response(subscription)
 

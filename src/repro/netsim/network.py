@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.netsim.link import Link, LinkConfig
 from repro.netsim.node import Host
@@ -60,6 +61,16 @@ class Network:
         self._hosts[address] = host
         return host
 
+    def add_hosts(self, prefix: str, count: int) -> list[Host]:
+        """Create ``count`` hosts named ``{prefix}-0`` … ``{prefix}-{count-1}``.
+
+        Bulk creation keeps large fan-out topologies (one host per relay or
+        subscriber) readable; the relay-tree builder uses it for every tier.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative: {count}")
+        return [self.add_host(f"{prefix}-{index}") for index in range(count)]
+
     def host(self, address: str) -> Host:
         """Look up a host by address."""
         try:
@@ -97,6 +108,22 @@ class Network:
         self._links[_Edge(second_addr, first_addr)] = Link(
             self.simulator, backward_config, self._make_delivery(first_addr)
         )
+
+    def connect_star(
+        self,
+        hub: str | Host,
+        peripherals: Iterable[str | Host],
+        config: LinkConfig | None = None,
+        reverse_config: LinkConfig | None = None,
+    ) -> None:
+        """Connect every peripheral host to ``hub`` with identical links.
+
+        ``config`` applies hub -> peripheral (the fan-out direction) and, as
+        in :meth:`connect`, to the reverse direction unless ``reverse_config``
+        is given.
+        """
+        for peripheral in peripherals:
+            self.connect(hub, peripheral, config, reverse_config)
 
     def link(self, source: str, destination: str) -> Link:
         """The link carrying traffic from ``source`` to ``destination``."""

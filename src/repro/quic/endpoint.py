@@ -88,10 +88,17 @@ class QuicEndpoint:
         return connection
 
     def _allocate_connection_id(self) -> int:
-        # Connection IDs only need to be unique per endpoint pair in the
-        # simulation; embedding a random component avoids collisions between
-        # client- and server-chosen IDs on the same host.
-        connection_id = (self._next_connection_id << 16) | self._simulator.rng.randrange(1 << 16)
+        # Connection IDs must be unique per *receiving* endpoint, and a busy
+        # server (a relay with hundreds of downstream subscribers) sees IDs
+        # chosen independently by many client endpoints.  48 random bits keep
+        # the collision probability negligible at that scale; 16 bits were
+        # measurably not enough (birthday collisions wedged handshakes at
+        # ~60 clients).  The counter is masked to 14 bits so the composite
+        # never exceeds QUIC's 62-bit varint range — past 16384 connections
+        # per endpoint, uniqueness rests on the random component alone.
+        connection_id = ((self._next_connection_id & 0x3FFF) << 48) | self._simulator.rng.randrange(
+            1 << 48
+        )
         self._next_connection_id += 1
         return connection_id
 

@@ -51,7 +51,9 @@ class _ReceiveBuffer:
     fin_offset: int | None = None
 
     def insert(self, offset: int, data: bytes, fin: bool) -> None:
-        if data:
+        # Retransmissions replay frames verbatim; segments that were already
+        # delivered must not re-enter the buffer (they would never drain).
+        if data and offset >= self.delivered:
             self.segments[offset] = data
         if fin:
             self.fin_offset = offset + len(data)
@@ -123,14 +125,22 @@ class QuicStream:
 
     # ---------------------------------------------------------------- receive
     def receive(self, offset: int, data: bytes, fin: bool) -> None:
-        """Process an incoming STREAM frame for this stream."""
+        """Process an incoming STREAM frame for this stream.
+
+        Duplicate frames (retransmissions whose original — or whose ACK — was
+        merely delayed, not lost) deliver nothing new and must not re-invoke
+        the callback: a second ``finished`` notification would make stream
+        consumers process the FIN twice.
+        """
+        already_finished = self.receive_closed
         self._receive.insert(offset, data, fin)
         contiguous, finished = self._receive.drain()
         self.bytes_received += len(contiguous)
         if finished:
             self.receive_closed = True
-        if (contiguous or finished) and self._on_data is not None:
-            self._on_data(self.stream_id, contiguous, finished)
+        newly_finished = finished and not already_finished
+        if (contiguous or newly_finished) and self._on_data is not None:
+            self._on_data(self.stream_id, contiguous, newly_finished)
 
     @property
     def is_finished(self) -> bool:

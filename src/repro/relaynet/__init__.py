@@ -1,0 +1,39 @@
+"""Hierarchical relay fan-out trees for CDN-scale DNS pub/sub (§3, §5.3).
+
+The paper's central scalability argument is that MoQT relays are payload
+oblivious, so a single authoritative server can push DNS record updates to
+millions of resolvers through a tree of generic relays: the origin serves
+only its direct children, every tier multiplies the fan-out, and each relay
+aggregates its whole subtree into one upstream subscription.  This package
+turns that argument into an executable subsystem:
+
+* :mod:`repro.relaynet.spec` — declarative tree shapes
+  (:class:`RelayTreeSpec`): star, balanced k-ary, and the CDN
+  origin/mid/edge hierarchy, each tier with its own link configuration;
+* :mod:`repro.relaynet.builder` — :class:`RelayTreeBuilder` instantiates a
+  spec on a :class:`~repro.netsim.network.Network`, wiring one
+  :class:`~repro.moqt.relay.MoqtRelay` per node to its parent, and
+  :class:`RelayTree` attaches subscriber sessions round-robin below the edge
+  tier;
+* :mod:`repro.relaynet.stats` — :class:`RelayNetStats` snapshots per-tier
+  relay counters, cache hit/miss totals and uplink bytes, with snapshot
+  deltas to isolate measurement windows.
+
+The matching analytical model lives in :mod:`repro.analysis.fanout` and the
+measured-vs-model experiment in :mod:`repro.experiments.relay_fanout`.
+"""
+
+from repro.relaynet.spec import RelayTierSpec, RelayTreeSpec
+from repro.relaynet.builder import RelayNode, RelayTree, RelayTreeBuilder, TreeSubscriber
+from repro.relaynet.stats import RelayNetStats, TierStats
+
+__all__ = [
+    "RelayTierSpec",
+    "RelayTreeSpec",
+    "RelayNode",
+    "RelayTree",
+    "RelayTreeBuilder",
+    "TreeSubscriber",
+    "RelayNetStats",
+    "TierStats",
+]

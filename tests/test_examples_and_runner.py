@@ -47,6 +47,13 @@ class TestExamples:
         assert "answer served locally" in output
         assert "new version on Mars" in output
 
+    def test_cdn_relay_tree(self, capsys):
+        _run_example("cdn_relay_tree.py")
+        output = capsys.readouterr().out
+        assert "less origin traffic" in output
+        assert "answered from the edge cache: hits=1 misses=0" in output
+        assert "the tree absorbs" in output
+
     def test_measurement_study_with_custom_population(self, capsys):
         _run_example("measurement_study.py", argv=["1200"])
         output = capsys.readouterr().out
@@ -61,6 +68,6 @@ class TestRunner:
 
         reports = run_all(fast=True)
         identifiers = [report.experiment_id for report in reports]
-        assert identifiers == ["E1", "E2", "E3", "E4", "E5", "E6", "E7/E8", "E9", "E10"]
+        assert identifiers == ["E1", "E2", "E3", "E4", "E5", "E6", "E7/E8", "E9", "E10", "E11"]
         for report in reports:
             assert report.table and "-" in report.table

@@ -192,6 +192,26 @@ class TestSubscribeAndFetch:
         assert subscription.state == "done"
         assert publisher_sessions[0].publisher_subscriptions() == []
 
+    def test_unsubscribe_releases_subscriber_side_state(self):
+        # A long-lived session that churns through subscribe/unsubscribe
+        # cycles (a relay's upstream session) must not accumulate dead
+        # subscription entries (§5.1).
+        simulator, session, publisher_sessions, delegate = _build()
+        received = []
+        for _ in range(5):
+            subscription = session.subscribe(TRACK, on_object=received.append)
+            simulator.run(until=simulator.now + 2.0)
+            session.unsubscribe(subscription)
+            simulator.run(until=simulator.now + 2.0)
+        assert session.subscriptions() == []
+        # Objects pushed after the teardown do not reach dead callbacks.
+        update = MoqtObject(group_id=9, object_id=0, payload=b"late")
+        delegate.state.publish(update)
+        for publisher_subscription in publisher_sessions[0].publisher_subscriptions():
+            publisher_sessions[0].publish(publisher_subscription, update)
+        simulator.run(until=simulator.now + 2.0)
+        assert received == []
+
     def test_fetch_error_when_no_publisher(self):
         simulator, session, publisher_sessions, _ = _build()
         simulator.run(until=1.0)
@@ -308,6 +328,186 @@ class TestRelay:
         assert fetches and fetches[0].succeeded
         assert [obj.payload for obj in fetches[0].objects] == [b"v2"]
         assert relay.statistics.fetches_served_from_cache == 1
+
+    def test_relay_tears_down_upstream_when_last_subscriber_unsubscribes(self):
+        simulator, delegate, origin_sessions, relay, make_subscriber = self._build_relay_chain()
+        first = make_subscriber(SUBSCRIBER)
+        second = make_subscriber(SUBSCRIBER)
+        first_subscription = first.subscribe(TRACK)
+        second_subscription = second.subscribe(TRACK)
+        simulator.run(until=3.0)
+        assert origin_sessions[0].publisher_subscriptions()
+
+        first.unsubscribe(first_subscription)
+        simulator.run(until=5.0)
+        # One subscriber remains: the upstream subscription must survive.
+        assert relay.statistics.upstream_unsubscribes == 0
+        assert origin_sessions[0].publisher_subscriptions()
+
+        second.unsubscribe(second_subscription)
+        simulator.run(until=7.0)
+        # Last subscriber gone: the relay must not leak its upstream
+        # subscription (§5.1 state clean-up).
+        assert relay.statistics.downstream_unsubscribes == 2
+        assert relay.statistics.upstream_unsubscribes == 1
+        assert relay.tracks()[TRACK].upstream_subscription is None
+        assert origin_sessions[0].publisher_subscriptions() == []
+
+        # A new subscriber re-creates the upstream subscription.
+        third = make_subscriber(SUBSCRIBER)
+        states = []
+        third.subscribe(TRACK, on_response=lambda s: states.append(s.state))
+        simulator.run(until=10.0)
+        assert states == ["active"]
+        assert relay.statistics.upstream_subscribes == 2
+
+    def test_unsubscribe_racing_a_deferred_subscribe_still_tears_down(self):
+        # The relay defers the first SUBSCRIBE until the upstream answers; an
+        # UNSUBSCRIBE arriving within that window must not leave a ghost
+        # subscriber that the late upstream response resurrects.
+        simulator, delegate, origin_sessions, relay, make_subscriber = self._build_relay_chain()
+        subscriber = make_subscriber(SUBSCRIBER)
+        received = []
+        subscription = subscriber.subscribe(TRACK, on_object=lambda obj: received.append(obj))
+        subscriber.unsubscribe(subscription)  # before the upstream ever answers
+        simulator.run(until=5.0)
+        assert relay.statistics.downstream_unsubscribes == 1
+        assert relay.tracks()[TRACK].downstream == []
+        assert relay.tracks()[TRACK].upstream_subscription is None
+        assert origin_sessions[0].publisher_subscriptions() == []
+
+        update = MoqtObject(group_id=2, object_id=0, payload=b"v2")
+        delegate.state.publish(update)
+        for publisher_subscription in origin_sessions[0].publisher_subscriptions():
+            origin_sessions[0].publish(publisher_subscription, update)
+        simulator.run(until=8.0)
+        assert received == [], "no objects reach an unsubscribed session"
+
+    def test_upstream_rejection_releases_relay_track_state(self):
+        simulator, delegate, origin_sessions, relay, make_subscriber = self._build_relay_chain()
+        delegate.accept = False
+        subscriber = make_subscriber(SUBSCRIBER)
+        states = []
+        subscriber.subscribe(TRACK, on_response=lambda s: states.append(s.state))
+        simulator.run(until=3.0)
+        assert states == ["error"]
+        # The failed attempt must not pin the track: no ghost downstream
+        # entry, no dead upstream subscription blocking future retries, and
+        # no dead entry lingering in the upstream session's routing maps.
+        assert relay.tracks()[TRACK].downstream == []
+        assert relay.tracks()[TRACK].upstream_subscription is None
+        assert relay._upstream_session.subscriptions() == []
+
+        delegate.accept = True
+        retry_states = []
+        retry = make_subscriber(SUBSCRIBER)
+        retry.subscribe(TRACK, on_response=lambda s: retry_states.append(s.state))
+        simulator.run(until=6.0)
+        assert retry_states == ["active"], "a later subscriber retries upstream"
+        assert relay.statistics.upstream_subscribes == 2
+
+    def test_upstream_rejection_errors_every_waiter_including_late_joiners(self):
+        # A second subscriber arriving while the upstream subscribe is still
+        # in flight must share the upstream's outcome — not be answered
+        # ok=True optimistically and then stranded on a dead track.
+        simulator, delegate, origin_sessions, relay, make_subscriber = self._build_relay_chain()
+        delegate.accept = False
+        first = make_subscriber(SUBSCRIBER)
+        second = make_subscriber(SUBSCRIBER)
+        first_states, second_states = [], []
+        first.subscribe(TRACK, on_response=lambda s: first_states.append(s.state))
+        second.subscribe(TRACK, on_response=lambda s: second_states.append(s.state))
+        simulator.run(until=4.0)
+        assert first_states == ["error"]
+        assert second_states == ["error"]
+        assert relay.tracks()[TRACK].downstream == []
+        assert relay.tracks()[TRACK].awaiting_upstream == []
+        assert relay.tracks()[TRACK].upstream_subscription is None
+
+    def test_stale_upstream_response_does_not_consume_replacement_waiters(self):
+        # A's upstream subscription is torn down while the origin's answer is
+        # in flight; B's replacement subscription is pending.  The stale
+        # answer crossing the UNSUBSCRIBE must not be delivered to B.
+        delegate = RecordingPublisher(defer=True)
+        simulator = Simulator(seed=41)
+        network = Network(simulator)
+        for host in (PUBLISHER, RELAY, SUBSCRIBER):
+            network.add_host(host)
+        network.connect(PUBLISHER, RELAY, LinkConfig(delay=0.02))
+        network.connect(RELAY, SUBSCRIBER, LinkConfig(delay=0.01))
+        origin_sessions = []
+        QuicEndpoint(
+            network.host(PUBLISHER),
+            port=4443,
+            server_tls=ServerTlsContext(alpn_protocols=("moq-00",)),
+            on_connection=lambda conn: origin_sessions.append(
+                MoqtSession(conn, is_client=False, publisher_delegate=delegate)
+            ),
+        )
+        relay = MoqtRelay(network.host(RELAY), upstream=Address(PUBLISHER, 4443))
+
+        def make_subscriber():
+            endpoint = QuicEndpoint(network.host(SUBSCRIBER))
+            connection = endpoint.connect(
+                Address(RELAY, 4443), ConnectionConfig(alpn_protocols=("moq-00",))
+            )
+            return MoqtSession(connection, is_client=True)
+
+        first, second = make_subscriber(), make_subscriber()
+        subscription_a = first.subscribe(TRACK)
+        simulator.run(until=2.0)
+        assert len(delegate.subscribes) == 1  # sub1 deferred at the origin
+
+        # Same instant: A leaves (UNSUBSCRIBE departs relay-wards), B joins,
+        # and the origin answers sub1 with an error — messages cross.
+        first.unsubscribe(subscription_a)
+        b_states = []
+        second.subscribe(TRACK, on_response=lambda s: b_states.append(s.state))
+        origin = origin_sessions[0]
+        origin.complete_subscribe(
+            delegate.subscribes[0][1].request_id,
+            SubscribeResult(
+                ok=False, error_code=SubscribeErrorCode.TRACK_DOES_NOT_EXIST, reason="stale"
+            ),
+        )
+        simulator.run(until=4.0)
+        assert b_states == [], "B must not receive sub1's stale error"
+        assert len(delegate.subscribes) == 2  # B's replacement reached the origin
+
+        origin.complete_subscribe(
+            delegate.subscribes[1][1].request_id,
+            SubscribeResult(ok=True, largest=Location(1, 0)),
+        )
+        simulator.run(until=6.0)
+        assert b_states == ["active"]
+        track = relay.tracks()[TRACK]
+        assert len(track.downstream) == 1
+        assert track.upstream_subscription is not None
+        assert track.upstream_subscription.is_active
+
+    def test_joiners_during_upstream_round_trip_become_active_on_success(self):
+        simulator, delegate, origin_sessions, relay, make_subscriber = self._build_relay_chain()
+        first = make_subscriber(SUBSCRIBER)
+        second = make_subscriber(SUBSCRIBER)
+        states = []
+        first.subscribe(TRACK, on_response=lambda s: states.append(("first", s.state)))
+        second.subscribe(TRACK, on_response=lambda s: states.append(("second", s.state)))
+        simulator.run(until=4.0)
+        assert sorted(states) == [("first", "active"), ("second", "active")]
+        assert relay.statistics.upstream_subscribes == 1
+        assert len(relay.tracks()[TRACK].downstream) == 2
+
+    def test_relay_tears_down_upstream_when_last_subscriber_disconnects(self):
+        simulator, delegate, origin_sessions, relay, make_subscriber = self._build_relay_chain()
+        subscriber = make_subscriber(SUBSCRIBER)
+        subscriber.subscribe(TRACK)
+        simulator.run(until=3.0)
+        assert relay.tracks()[TRACK].downstream
+        subscriber.close("gone")
+        simulator.run(until=5.0)
+        assert relay.tracks()[TRACK].downstream == []
+        assert relay.tracks()[TRACK].upstream_subscription is None
+        assert origin_sessions[0].publisher_subscriptions() == []
 
     def test_relay_forwards_fetch_upstream_on_cache_miss(self):
         simulator, delegate, origin_sessions, relay, make_subscriber = self._build_relay_chain()

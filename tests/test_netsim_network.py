@@ -118,6 +118,39 @@ class TestHost:
             host.send(_datagram(b"q"))
 
 
+class TestBulkTopologyHelpers:
+    def test_add_hosts_names_sequentially(self, simulator):
+        network = Network(simulator)
+        hosts = network.add_hosts("edge", 3)
+        assert [host.address for host in hosts] == ["edge-0", "edge-1", "edge-2"]
+        assert network.host("edge-1") is hosts[1]
+        with pytest.raises(ValueError):
+            network.add_hosts("edge", -1)
+
+    def test_connect_star_wires_every_peripheral_to_the_hub(self, simulator):
+        network = Network(simulator)
+        hub = network.add_host("hub")
+        peripherals = network.add_hosts("leaf", 4)
+        network.connect_star(hub, peripherals, LinkConfig(delay=0.005))
+        for leaf in peripherals:
+            assert network.has_link("hub", leaf.address)
+            assert network.has_link(leaf.address, "hub")
+            assert network.link("hub", leaf.address).config.delay == 0.005
+
+    def test_connect_star_asymmetric_configs(self, simulator):
+        network = Network(simulator)
+        network.add_host("hub")
+        network.add_hosts("leaf", 2)
+        network.connect_star(
+            "hub",
+            ["leaf-0", "leaf-1"],
+            LinkConfig(delay=0.001),
+            reverse_config=LinkConfig(delay=0.050),
+        )
+        assert network.link("hub", "leaf-0").config.delay == 0.001
+        assert network.link("leaf-0", "hub").config.delay == 0.050
+
+
 class TestNetworkRouting:
     def test_direct_link_delivery_and_latency(self, simulator, two_host_network):
         network = two_host_network

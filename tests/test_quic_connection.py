@@ -201,3 +201,30 @@ class TestReliabilityAndLifecycle:
         simulator.run(until=120.0)
         assert connection.closed
         assert simulator.pending_events == 0
+
+
+class TestConnectionIdAllocation:
+    def test_ids_stay_within_varint_range_at_high_connection_counts(self):
+        simulator = Simulator(seed=9)
+        network = Network(simulator)
+        network.add_host(CLIENT)
+        endpoint = QuicEndpoint(network.host(CLIENT))
+        # Even after 16384+ allocations the composite (counter | random) must
+        # stay encodable as a QUIC varint (< 2**62).
+        endpoint._next_connection_id = 20_000
+        for _ in range(3):
+            assert endpoint._allocate_connection_id() < (1 << 62)
+
+    def test_ids_are_collision_resistant_across_many_client_endpoints(self):
+        # Many independent client endpoints talk to one server: the server
+        # demultiplexes purely by connection ID, so IDs chosen by unrelated
+        # endpoints must not collide at relay-scale fan-in (~hundreds).
+        simulator = Simulator(seed=9)
+        network = Network(simulator)
+        seen = set()
+        for index in range(500):
+            host = network.add_host(f"client-{index}")
+            endpoint = QuicEndpoint(host)
+            connection_id = endpoint._allocate_connection_id()
+            assert connection_id not in seen
+            seen.add(connection_id)
