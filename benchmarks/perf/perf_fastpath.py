@@ -1,0 +1,240 @@
+"""Fast-path performance harness: micro + macro benchmarks with JSON output.
+
+Three micro/macro layers cover the simulation fast path end to end:
+
+* ``event_loop_churn`` — raw scheduler throughput: schedule/run/cancel churn
+  through :class:`repro.netsim.simulator.Simulator`, including heavy timer
+  cancellation so lazy deletion and heap compaction are on the measured path;
+* ``varint_roundtrip`` — codec throughput: QUIC varint encode/decode over the
+  RFC 9000 size classes, plus reader/writer round-trips;
+* ``relay_fanout_e11`` — the E11 relay fan-out experiment (three-tier CDN
+  tree, 1,000 subscribers) measured end to end, wall-clock;
+* ``cdn_macro_10k`` — the 10,000-subscriber CDN-tree macro-benchmark.  It
+  asserts the paper's origin-egress invariant: origin egress is
+  O(branching factor) and must match the 1,000-subscriber run byte for byte
+  even though the subscriber population grew 10x.
+
+Results are written to ``BENCH_fastpath.json`` (schema documented in
+``benchmarks/perf/README.md``) so the performance trajectory of the repo is
+machine-readable and CI can archive it per commit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/perf_fastpath.py
+    PYTHONPATH=src python benchmarks/perf/perf_fastpath.py --smoke
+    PYTHONPATH=src python benchmarks/perf/perf_fastpath.py --output out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.relay_fanout import run_relay_fanout
+from repro.netsim.simulator import Simulator, Timer
+from repro.quic.varint import (
+    MAX_VARINT,
+    VarintReader,
+    VarintWriter,
+    decode_varint,
+    encode_varint,
+)
+
+SCHEMA = "bench-fastpath/v1"
+
+#: Varint corpus: RFC 9000 boundary values of every size class plus
+#: mid-range representatives.
+VARINT_CORPUS = (
+    0,
+    1,
+    37,
+    63,
+    64,
+    15293,
+    16383,
+    16384,
+    494878333,
+    (1 << 30) - 1,
+    1 << 30,
+    151288809941952652,
+    MAX_VARINT,
+)
+
+
+def bench_event_loop_churn(events: int = 200_000) -> dict[str, object]:
+    """Scheduler throughput with cancellation churn.
+
+    Half of the scheduled callbacks are cancelled before they run — the
+    pattern produced by per-packet retransmission/idle timers — so the
+    lazy-deletion skip and the >50%-dead heap compaction are both exercised.
+    """
+    simulator = Simulator(seed=1)
+    executed = [0]
+
+    def tick() -> None:
+        executed[0] += 1
+
+    start = time.perf_counter()
+    pending = []
+    for index in range(events):
+        event = simulator.call_later((index % 97) * 1e-4, tick)
+        pending.append(event)
+        if index % 2 == 0:
+            pending[len(pending) // 2].cancel()
+    simulator.run_until_idle(max_events=events + 1)
+    # Timer restart churn: one timer re-armed many times only fires once.
+    timer_fired = [0]
+    timer = Timer(simulator, lambda: timer_fired.__setitem__(0, timer_fired[0] + 1))
+    for index in range(10_000):
+        timer.start(0.5 + index * 1e-5)
+    simulator.run_until_idle()
+    elapsed = time.perf_counter() - start
+    return {
+        "scheduled": events + 10_000,
+        "executed": executed[0],
+        "timer_fired": timer_fired[0],
+        "seconds": round(elapsed, 6),
+        "events_per_second": round((events + 10_000) / elapsed),
+    }
+
+
+def bench_varint_roundtrip(rounds: int = 40_000) -> dict[str, object]:
+    """Encode+decode throughput over the boundary-value corpus."""
+    corpus = VARINT_CORPUS
+    start = time.perf_counter()
+    operations = 0
+    for _ in range(rounds):
+        for value in corpus:
+            encoded = encode_varint(value)
+            decoded, _ = decode_varint(encoded)
+            if decoded != value:  # pragma: no cover - would be a codec bug
+                raise AssertionError(f"round-trip mismatch for {value}")
+            operations += 2
+    # Reader/writer batch round-trip (the packet/message codec shape).
+    writer = VarintWriter()
+    for value in corpus:
+        writer.write_varint(value)
+    blob = writer.getvalue()
+    for _ in range(rounds // 10):
+        reader = VarintReader(blob)
+        for value in corpus:
+            if reader.read_varint() != value:  # pragma: no cover
+                raise AssertionError("reader mismatch")
+        operations += len(corpus)
+    elapsed = time.perf_counter() - start
+    return {
+        "operations": operations,
+        "seconds": round(elapsed, 6),
+        "ops_per_second": round(operations / elapsed),
+    }
+
+
+def bench_relay_fanout_e11(subscribers: int = 1000, updates: int = 5) -> dict[str, object]:
+    """Wall-clock of the E11 fan-out experiment at the benchmark scale."""
+    start = time.perf_counter()
+    result = run_relay_fanout(subscriber_counts=(subscribers,), updates=updates)
+    elapsed = time.perf_counter() - start
+    sample = result.samples[0]
+    row = sample.as_row()
+    return {
+        "subscribers": subscribers,
+        "updates": updates,
+        "seconds": round(elapsed, 6),
+        "delivered_objects": row["delivered"],
+        "expected_objects": row["expected"],
+        "origin_objects": row["origin_objects"],
+        "origin_egress_bytes": row["origin_bytes"],
+        "max_tier_byte_deviation": row["max_tier_dev"],
+        "tier_bytes": list(sample.measured_tier_bytes),
+    }
+
+
+def bench_cdn_macro_10k(subscribers: int = 10_000, updates: int = 5) -> dict[str, object]:
+    """10,000-subscriber CDN-tree macro-benchmark with the egress invariant.
+
+    Origin egress must be O(branching factor): identical to the
+    1,000-subscriber run (same tree, same updates) despite 10x subscribers.
+    """
+    reference = run_relay_fanout(subscriber_counts=(1000,), updates=updates)
+    start = time.perf_counter()
+    result = run_relay_fanout(subscriber_counts=(subscribers,), updates=updates)
+    elapsed = time.perf_counter() - start
+    sample = result.samples[0]
+    reference_sample = reference.samples[0]
+    invariant_ok = (
+        sample.measured_origin_objects == reference_sample.measured_origin_objects
+        and sample.origin_egress_bytes == reference_sample.origin_egress_bytes
+        and sample.delivered_objects == subscribers * updates
+    )
+    return {
+        "subscribers": subscribers,
+        "updates": updates,
+        "seconds": round(elapsed, 6),
+        "delivered_objects": sample.delivered_objects,
+        "origin_objects": sample.measured_origin_objects,
+        "origin_egress_bytes": sample.origin_egress_bytes,
+        "reference_origin_egress_bytes": reference_sample.origin_egress_bytes,
+        "origin_egress_invariant_ok": invariant_ok,
+        "max_tier_byte_deviation": sample.max_tier_byte_deviation,
+    }
+
+
+def run(smoke: bool = False, skip_macro: bool = False) -> dict[str, object]:
+    """Run the harness and return the result document."""
+    benchmarks: dict[str, object] = {}
+    benchmarks["event_loop_churn"] = bench_event_loop_churn(
+        events=50_000 if smoke else 200_000
+    )
+    benchmarks["varint_roundtrip"] = bench_varint_roundtrip(rounds=8_000 if smoke else 40_000)
+    benchmarks["relay_fanout_e11"] = bench_relay_fanout_e11(
+        subscribers=200 if smoke else 1000
+    )
+    if not skip_macro and not smoke:
+        benchmarks["cdn_macro_10k"] = bench_cdn_macro_10k()
+    return {
+        "schema": SCHEMA,
+        "generated_unix": int(time.time()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "smoke": smoke,
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default="BENCH_fastpath.json",
+        help="path of the JSON result document (default: ./BENCH_fastpath.json)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced iteration counts and no 10k macro run (CI smoke budget)",
+    )
+    parser.add_argument(
+        "--skip-macro",
+        action="store_true",
+        help="skip the 10,000-subscriber macro-benchmark",
+    )
+    args = parser.parse_args(argv)
+    document = run(smoke=args.smoke, skip_macro=args.skip_macro)
+    output = Path(args.output)
+    output.write_text(json.dumps(document, indent=2) + "\n")
+    json.dump(document["benchmarks"], sys.stdout, indent=2)
+    print()
+    macro = document["benchmarks"].get("cdn_macro_10k")
+    if macro is not None and not macro["origin_egress_invariant_ok"]:
+        print("FAIL: origin egress grew with subscriber count", file=sys.stderr)
+        return 1
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

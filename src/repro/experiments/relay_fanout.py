@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.fanout import FanoutModel, fanout_model, relative_deviation
+from repro.moqt.datastream import encode_subgroup_object
 from repro.moqt.objectmodel import MoqtObject, TrackState
 from repro.moqt.relay import MOQT_ALPN
 from repro.moqt.session import FetchResult, MoqtSession, SubscribeResult
@@ -31,6 +32,7 @@ from repro.moqt.track import FullTrackName
 from repro.netsim.network import Network
 from repro.netsim.packet import Address
 from repro.netsim.simulator import Simulator
+from repro.netsim.trace import NullTraceRecorder
 from repro.quic.endpoint import QuicEndpoint
 from repro.quic.tls import ServerTlsContext
 from repro.relaynet import RelayNetStats, RelayTreeBuilder, RelayTreeSpec
@@ -63,11 +65,12 @@ class OriginPublisher:
     def push(self, obj: MoqtObject) -> None:
         """Record and push one update to every direct (top-tier) subscriber."""
         self.state.publish(obj)
+        cached_encoding = encode_subgroup_object(obj)
         for session in self.sessions:
             if session.closed:
                 continue
             for subscription in session.publisher_subscriptions():
-                session.publish(subscription, obj)
+                session.publish(subscription, obj, cached_encoding)
 
     @property
     def objects_sent(self) -> int:
@@ -107,7 +110,9 @@ def _run_tree(
     statistics delta, the origin's pushed-object count and the number of
     objects delivered to subscribers."""
     simulator = Simulator(seed=seed)
-    network = Network(simulator)
+    # The experiment reads link statistics, never traces; a null recorder
+    # removes two trace records per datagram from the fan-out hot path.
+    network = Network(simulator, trace=NullTraceRecorder(simulator))
     publisher = build_origin(network)
     tree = RelayTreeBuilder(network, Address(ORIGIN_HOST, ORIGIN_PORT)).build(spec)
     tree.attach_subscribers(subscribers)

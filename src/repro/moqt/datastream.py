@@ -12,6 +12,13 @@ Two stream flavours exist:
 * *fetch streams* carry the objects of one FETCH response: a header with the
   fetch request ID, followed by objects that each repeat their group ID
   because a fetch can span groups.
+
+The object-body encoding is independent of the receiving subscription (only
+the stream *header* carries the per-subscriber track alias), which is what
+makes encode-once fan-out possible: a relay serialises an object body once
+and hands the cached bytes to every downstream
+:meth:`~repro.moqt.session.MoqtSession.publish` call via
+:func:`encode_subgroup_stream_chunk`.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from dataclasses import dataclass
 
 from repro.moqt.errors import ProtocolViolation
 from repro.moqt.objectmodel import MoqtObject, ObjectStatus
-from repro.quic.varint import VarintReader, VarintWriter
+from repro.quic.varint import VarintError, VarintReader, VarintWriter, append_varint
 
 
 class DataStreamType(enum.IntEnum):
@@ -47,13 +54,13 @@ class SubgroupStreamHeader:
     publisher_priority: int = 128
 
     def encode(self) -> bytes:
-        writer = VarintWriter()
-        writer.write_varint(DataStreamType.SUBGROUP_HEADER)
-        writer.write_varint(self.track_alias)
-        writer.write_varint(self.group_id)
-        writer.write_varint(self.subgroup_id)
-        writer.write_uint8(self.publisher_priority)
-        return writer.getvalue()
+        buffer = bytearray()
+        append_varint(buffer, DataStreamType.SUBGROUP_HEADER)
+        append_varint(buffer, self.track_alias)
+        append_varint(buffer, self.group_id)
+        append_varint(buffer, self.subgroup_id)
+        buffer.append(self.publisher_priority)
+        return bytes(buffer)
 
     @classmethod
     def decode(cls, reader: VarintReader) -> "SubgroupStreamHeader":
@@ -83,13 +90,41 @@ class FetchStreamHeader:
 
 
 def encode_subgroup_object(obj: MoqtObject) -> bytes:
-    """Encode one object following a subgroup stream header."""
-    writer = VarintWriter()
-    writer.write_varint(obj.object_id)
-    writer.write_length_prefixed(obj.extensions)
-    writer.write_length_prefixed(obj.payload)
-    writer.write_varint(int(obj.status))
-    return writer.getvalue()
+    """Encode one object following a subgroup stream header.
+
+    The result depends only on the object, never on the subscription it is
+    sent to — callers fanning one object out to many subscribers should
+    encode once and pass the bytes to :func:`encode_subgroup_stream_chunk`.
+    """
+    buffer = bytearray()
+    append_varint(buffer, obj.object_id)
+    extensions = obj.extensions
+    append_varint(buffer, len(extensions))
+    buffer += extensions
+    payload = obj.payload
+    append_varint(buffer, len(payload))
+    buffer += payload
+    append_varint(buffer, int(obj.status))
+    return bytes(buffer)
+
+
+def encode_subgroup_stream_chunk(
+    track_alias: int, obj: MoqtObject, body: bytes | None = None
+) -> bytes:
+    """Header plus object body for a one-object subgroup stream.
+
+    ``body`` is the cached :func:`encode_subgroup_object` encoding when the
+    caller already has it (encode-once fan-out); only the small header is
+    serialised per subscriber.
+    """
+    buffer = bytearray()
+    append_varint(buffer, DataStreamType.SUBGROUP_HEADER)
+    append_varint(buffer, track_alias)
+    append_varint(buffer, obj.group_id)
+    append_varint(buffer, obj.subgroup_id)
+    buffer.append(obj.publisher_priority)
+    buffer += body if body is not None else encode_subgroup_object(obj)
+    return bytes(buffer)
 
 
 def decode_subgroup_object(reader: VarintReader, header: SubgroupStreamHeader) -> MoqtObject:
@@ -111,15 +146,17 @@ def decode_subgroup_object(reader: VarintReader, header: SubgroupStreamHeader) -
 
 def encode_fetch_object(obj: MoqtObject) -> bytes:
     """Encode one object following a fetch stream header."""
-    writer = VarintWriter()
-    writer.write_varint(obj.group_id)
-    writer.write_varint(obj.subgroup_id)
-    writer.write_varint(obj.object_id)
-    writer.write_uint8(obj.publisher_priority)
-    writer.write_length_prefixed(obj.extensions)
-    writer.write_length_prefixed(obj.payload)
-    writer.write_varint(int(obj.status))
-    return writer.getvalue()
+    buffer = bytearray()
+    append_varint(buffer, obj.group_id)
+    append_varint(buffer, obj.subgroup_id)
+    append_varint(buffer, obj.object_id)
+    buffer.append(obj.publisher_priority)
+    append_varint(buffer, len(obj.extensions))
+    buffer += obj.extensions
+    append_varint(buffer, len(obj.payload))
+    buffer += obj.payload
+    append_varint(buffer, int(obj.status))
+    return bytes(buffer)
 
 
 def decode_fetch_object(reader: VarintReader) -> MoqtObject:
@@ -142,17 +179,30 @@ def decode_fetch_object(reader: VarintReader) -> MoqtObject:
     )
 
 
-def encode_object_datagram(track_alias: int, obj: MoqtObject) -> bytes:
-    """Encode an object as a single datagram payload."""
-    writer = VarintWriter()
-    writer.write_varint(DatagramType.OBJECT_DATAGRAM)
-    writer.write_varint(track_alias)
-    writer.write_varint(obj.group_id)
-    writer.write_varint(obj.object_id)
-    writer.write_uint8(obj.publisher_priority)
-    writer.write_length_prefixed(obj.extensions)
-    writer.write_length_prefixed(obj.payload)
-    return writer.getvalue()
+def encode_object_datagram(track_alias: int, obj: MoqtObject, body: bytes | None = None) -> bytes:
+    """Encode an object as a single datagram payload.
+
+    ``body`` optionally carries the cached alias-independent suffix from
+    :func:`encode_object_datagram_body` for encode-once fan-out.
+    """
+    buffer = bytearray()
+    append_varint(buffer, DatagramType.OBJECT_DATAGRAM)
+    append_varint(buffer, track_alias)
+    buffer += body if body is not None else encode_object_datagram_body(obj)
+    return bytes(buffer)
+
+
+def encode_object_datagram_body(obj: MoqtObject) -> bytes:
+    """The part of an object datagram that does not depend on the alias."""
+    buffer = bytearray()
+    append_varint(buffer, obj.group_id)
+    append_varint(buffer, obj.object_id)
+    buffer.append(obj.publisher_priority)
+    append_varint(buffer, len(obj.extensions))
+    buffer += obj.extensions
+    append_varint(buffer, len(obj.payload))
+    buffer += obj.payload
+    return bytes(buffer)
 
 
 def decode_object_datagram(data: bytes) -> tuple[int, MoqtObject]:
@@ -181,8 +231,12 @@ class DataStreamParser:
     """Incremental parser for one incoming unidirectional data stream.
 
     Feed it stream chunks; it yields the header once and then complete
-    objects as they become available.
+    objects as they become available.  Each :meth:`feed` call parses over a
+    single snapshot of the buffer and trims consumed bytes once at the end,
+    so reassembling a stream of n objects costs O(n), not O(n²).
     """
+
+    __slots__ = ("_buffer", "header", "finished")
 
     def __init__(self) -> None:
         self._buffer = bytearray()
@@ -191,34 +245,45 @@ class DataStreamParser:
 
     def feed(self, data: bytes, fin: bool) -> list[MoqtObject]:
         """Add bytes (and possibly the FIN); return completed objects."""
-        self._buffer += data
+        buffered = bool(self._buffer)
+        if buffered:
+            self._buffer += data
+            # Snapshot: the reader must not hold a view over the bytearray we
+            # trim afterwards (resizing an exported buffer raises).
+            source = bytes(self._buffer)
+        else:
+            # Nothing buffered (every chunk so far parsed completely): parse
+            # straight from the incoming bytes with no copy — the common case
+            # of one complete object per stream delivered in one frame.
+            source = data
         if fin:
             self.finished = True
         objects: list[MoqtObject] = []
-        while True:
-            reader = VarintReader(bytes(self._buffer))
-            try:
-                if self.header is None:
-                    stream_type = reader.read_varint()
-                    if stream_type == DataStreamType.SUBGROUP_HEADER:
-                        self.header = SubgroupStreamHeader.decode(reader)
-                    elif stream_type == DataStreamType.FETCH_HEADER:
-                        self.header = FetchStreamHeader.decode(reader)
-                    else:
-                        raise ProtocolViolation(f"unknown data stream type {stream_type:#x}")
-                    del self._buffer[: reader.offset]
-                    continue
-                if isinstance(self.header, SubgroupStreamHeader):
-                    obj = decode_subgroup_object(reader, self.header)
+        reader = VarintReader(source)
+        consumed = 0
+        try:
+            if self.header is None:
+                stream_type = reader.read_varint()
+                if stream_type == DataStreamType.SUBGROUP_HEADER:
+                    self.header = SubgroupStreamHeader.decode(reader)
+                elif stream_type == DataStreamType.FETCH_HEADER:
+                    self.header = FetchStreamHeader.decode(reader)
                 else:
-                    obj = decode_fetch_object(reader)
-                del self._buffer[: reader.offset]
-                objects.append(obj)
-            except ProtocolViolation:
-                raise
-            except Exception:
-                # Not enough bytes for the next element yet.
-                break
-            if not self._buffer:
-                break
+                    raise ProtocolViolation(f"unknown data stream type {stream_type:#x}")
+                consumed = reader.offset
+            if isinstance(self.header, SubgroupStreamHeader):
+                while not reader.at_end():
+                    objects.append(decode_subgroup_object(reader, self.header))
+                    consumed = reader.offset
+            else:
+                while not reader.at_end():
+                    objects.append(decode_fetch_object(reader))
+                    consumed = reader.offset
+        except VarintError:
+            pass  # not enough bytes for the next element yet
+        if buffered:
+            if consumed:
+                del self._buffer[:consumed]
+        elif consumed < len(source):
+            self._buffer += memoryview(source)[consumed:]
         return objects

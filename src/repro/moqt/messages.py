@@ -603,9 +603,12 @@ class ControlStreamParser:
         self._buffer += data
         messages: list[ControlMessage] = []
         offset = 0
-        while offset < len(self._buffer):
+        # One snapshot per feed (not per message) keeps a k-message burst at
+        # one copy of the buffer instead of k.
+        snapshot = bytes(self._buffer)
+        while offset < len(snapshot):
             try:
-                message, offset = decode_control_message(bytes(self._buffer), offset)
+                message, offset = decode_control_message(snapshot, offset)
             except NeedMoreData:
                 break
             messages.append(message)

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.moqt.datastream import encode_object_datagram_body, encode_subgroup_object
 from repro.moqt.errors import FetchErrorCode, SubscribeErrorCode
 from repro.moqt.messages import Fetch, FetchType, Subscribe
 from repro.moqt.objectmodel import Location, MoqtObject, TrackState
@@ -338,6 +339,14 @@ class MoqtRelay:
         self._forward_to_downstream(track, obj)
 
     def _forward_to_downstream(self, track: RelayTrack, obj: MoqtObject) -> None:
+        # Encode-once fan-out: the object body does not depend on the
+        # receiving subscription, so it is serialised a single time and the
+        # cached bytes ride every downstream publish (§3's fan-out efficiency
+        # argument, applied to CPU rather than links).
+        if self.session_config.use_datagrams:
+            cached_encoding = encode_object_datagram_body(obj)
+        else:
+            cached_encoding = encode_subgroup_object(obj)
         for subscriber in list(track.downstream):
             if subscriber.session.closed:
                 track.downstream.remove(subscriber)
@@ -349,7 +358,7 @@ class MoqtRelay:
             )
             if publisher_subscription is None:
                 continue
-            subscriber.session.publish(publisher_subscription, obj)
+            subscriber.session.publish(publisher_subscription, obj, cached_encoding)
             track.objects_forwarded += 1
             self.statistics.objects_forwarded += 1
 

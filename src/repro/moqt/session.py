@@ -30,7 +30,7 @@ from repro.moqt.datastream import (
     SubgroupStreamHeader,
     encode_fetch_object,
     encode_object_datagram,
-    encode_subgroup_object,
+    encode_subgroup_stream_chunk,
     decode_object_datagram,
 )
 from repro.moqt.errors import (
@@ -248,6 +248,10 @@ class MoqtSession:
 
         self._control_parser = ControlStreamParser()
         self._control_stream: QuicStream | None = None
+        #: Mirror of ``_control_stream.stream_id`` so the per-frame dispatch
+        #: in :meth:`_on_stream_data` is one int compare, not two attribute
+        #: chains.
+        self._control_stream_id: int | None = None
         self._next_request_id = 0 if is_client else 1
         self._next_track_alias = 1
 
@@ -276,6 +280,7 @@ class MoqtSession:
     # ----------------------------------------------------------------- setup
     def _start_client(self) -> None:
         self._control_stream = self.connection.open_stream(StreamDirection.BIDIRECTIONAL)
+        self._control_stream_id = self._control_stream.stream_id
         setup = ClientSetup(supported_versions=SUPPORTED_VERSIONS)
         self._send_control(setup)
         if self.config.alpn_version_negotiation:
@@ -310,6 +315,7 @@ class MoqtSession:
         if self._control_stream is None:
             # Server side: the control stream is the peer's stream 0.
             self._control_stream = self.connection.get_or_create_stream(0)
+            self._control_stream_id = 0
         self.statistics.control_messages_sent += 1
         self.connection.send_stream_data(self._control_stream, message.encode())
 
@@ -446,13 +452,26 @@ class MoqtSession:
         """All downstream subscriptions accepted by this session."""
         return list(self._publisher_subscriptions.values())
 
-    def publish(self, subscription: PublisherSubscription, obj: MoqtObject) -> None:
+    def publish(
+        self,
+        subscription: PublisherSubscription,
+        obj: MoqtObject,
+        cached_encoding: bytes | None = None,
+    ) -> None:
         """Push one object to a downstream subscription.
 
         The paper's prototype sends every object on its own unidirectional
         stream (one group per stream, streams not datagrams); with
         ``use_datagrams`` enabled the object is sent unreliably instead, which
         the ablation benchmark compares.
+
+        ``cached_encoding`` is the object-body encoding from
+        :func:`~repro.moqt.datastream.encode_subgroup_object` (stream mode) or
+        :func:`~repro.moqt.datastream.encode_object_datagram_body` (datagram
+        mode).  Fan-out publishers (relays) encode each object once and pass
+        the bytes to every downstream publish; only the per-subscriber stream
+        header is serialised per call, and the wire bytes are identical to an
+        uncached publish.
         """
         self._require_open()
         if not subscription.forward:
@@ -461,18 +480,14 @@ class MoqtSession:
         self.statistics.object_bytes_sent += obj.size
         subscription.objects_sent += 1
         if self.config.use_datagrams:
-            payload = encode_object_datagram(subscription.track_alias, obj)
+            payload = encode_object_datagram(subscription.track_alias, obj, cached_encoding)
             self.connection.send_datagram_frame(payload)
             return
         stream = self.connection.open_stream(StreamDirection.UNIDIRECTIONAL)
-        header = SubgroupStreamHeader(
-            track_alias=subscription.track_alias,
-            group_id=obj.group_id,
-            subgroup_id=obj.subgroup_id,
-            publisher_priority=obj.publisher_priority,
-        )
         self.connection.send_stream_data(
-            stream, header.encode() + encode_subgroup_object(obj), fin=True
+            stream,
+            encode_subgroup_stream_chunk(subscription.track_alias, obj, cached_encoding),
+            fin=True,
         )
 
     def _send_fetch_objects(self, request_id: int, objects: list[MoqtObject]) -> None:
@@ -508,7 +523,7 @@ class MoqtSession:
 
     # --------------------------------------------------------------- dispatch
     def _on_stream_data(self, stream_id: int, data: bytes, fin: bool) -> None:
-        if stream_id == 0 or (self._control_stream is not None and stream_id == self._control_stream.stream_id):
+        if stream_id == 0 or stream_id == self._control_stream_id:
             for message in self._control_parser.feed(data):
                 self._handle_control_message(message)
             return

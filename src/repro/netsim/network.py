@@ -16,7 +16,6 @@ intermediaries between resolvers without modelling routers explicitly.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
 from typing import Iterable
 
 from repro.netsim.link import Link, LinkConfig
@@ -34,14 +33,6 @@ class NoRouteError(Exception):
     """Raised when no path exists between two hosts."""
 
 
-@dataclass(frozen=True)
-class _Edge:
-    """Internal: one direction of connectivity between two host addresses."""
-
-    source: str
-    destination: str
-
-
 class Network:
     """A set of hosts connected by point-to-point links."""
 
@@ -49,7 +40,9 @@ class Network:
         self.simulator = simulator
         self.trace = trace if trace is not None else TraceRecorder(simulator)
         self._hosts: dict[str, Host] = {}
-        self._links: dict[_Edge, Link] = {}
+        # Keyed by (source, destination) host-address tuples: plain tuples
+        # hash faster than any wrapper object on the per-datagram route path.
+        self._links: dict[tuple[str, str], Link] = {}
 
     # ------------------------------------------------------------------ hosts
     def add_host(self, address: str) -> Host:
@@ -102,10 +95,10 @@ class Network:
                 raise UnknownHostError(address)
         forward_config = config if config is not None else LinkConfig()
         backward_config = reverse_config if reverse_config is not None else forward_config
-        self._links[_Edge(first_addr, second_addr)] = Link(
+        self._links[(first_addr, second_addr)] = Link(
             self.simulator, forward_config, self._make_delivery(second_addr)
         )
-        self._links[_Edge(second_addr, first_addr)] = Link(
+        self._links[(second_addr, first_addr)] = Link(
             self.simulator, backward_config, self._make_delivery(first_addr)
         )
 
@@ -128,17 +121,17 @@ class Network:
     def link(self, source: str, destination: str) -> Link:
         """The link carrying traffic from ``source`` to ``destination``."""
         try:
-            return self._links[_Edge(source, destination)]
+            return self._links[(source, destination)]
         except KeyError:
             raise NoRouteError(f"no link {source} -> {destination}") from None
 
     def has_link(self, source: str, destination: str) -> bool:
         """Whether a direct link exists from ``source`` to ``destination``."""
-        return _Edge(source, destination) in self._links
+        return (source, destination) in self._links
 
     def _make_delivery(self, destination: str):
         def deliver(datagram: Datagram) -> None:
-            self._deliver_local(destination, datagram)
+            self._deliver_final(destination, datagram)
 
         return deliver
 
@@ -149,19 +142,22 @@ class Network:
         destination = datagram.destination.host
         if destination not in self._hosts:
             raise UnknownHostError(destination)
-        self.trace.record(
-            "datagram-sent",
-            source=str(datagram.source),
-            destination=str(datagram.destination),
-            protocol=datagram.protocol,
-            size=datagram.size,
-        )
+        trace = self.trace
+        if trace.enabled:
+            trace.record(
+                "datagram-sent",
+                source=str(datagram.source),
+                destination=str(datagram.destination),
+                protocol=datagram.protocol,
+                size=len(datagram.payload),
+            )
         if source == destination:
             # Loopback delivery happens "immediately" on the next event.
-            self.simulator.call_soon(lambda: self._deliver_final(destination, datagram))
+            self.simulator.call_soon(self._deliver_final, destination, datagram)
             return
-        if self.has_link(source, destination):
-            self.link(source, destination).transmit(datagram)
+        link = self._links.get((source, destination))
+        if link is not None:
+            link.transmit(datagram)
             return
         path = self.shortest_path(source, destination)
         self._forward_along(path, 0, datagram)
@@ -197,11 +193,13 @@ class Network:
         else:
             serialisation = 0.0
         arrival = self.simulator.now + serialisation + link.config.delay
-        def _arrive() -> None:
-            link.statistics.datagrams_delivered += 1
-            link.statistics.bytes_delivered += datagram.size
-            on_arrival(datagram)
-        self.simulator.call_at(arrival, _arrive)
+        self.simulator.call_at(arrival, self._arrive_via, link, datagram, on_arrival)
+
+    @staticmethod
+    def _arrive_via(link: Link, datagram: Datagram, on_arrival) -> None:
+        link.statistics.datagrams_delivered += 1
+        link.statistics.bytes_delivered += datagram.size
+        on_arrival(datagram)
 
     def shortest_path(self, source: str, destination: str) -> list[str]:
         """Least-total-delay path between two hosts (Dijkstra)."""
@@ -216,14 +214,14 @@ class Network:
             visited.add(address)
             if address == destination:
                 break
-            for edge, link in self._links.items():
-                if edge.source != address:
+            for (edge_source, edge_destination), link in self._links.items():
+                if edge_source != address:
                     continue
                 candidate = distance + link.config.delay
-                if candidate < distances.get(edge.destination, float("inf")):
-                    distances[edge.destination] = candidate
-                    previous[edge.destination] = address
-                    heapq.heappush(queue, (candidate, edge.destination))
+                if candidate < distances.get(edge_destination, float("inf")):
+                    distances[edge_destination] = candidate
+                    previous[edge_destination] = address
+                    heapq.heappush(queue, (candidate, edge_destination))
         if destination not in distances:
             raise NoRouteError(f"no route {source} -> {destination}")
         path = [destination]
@@ -233,17 +231,16 @@ class Network:
         return path
 
     # --------------------------------------------------------------- delivery
-    def _deliver_local(self, destination: str, datagram: Datagram) -> None:
-        self._deliver_final(destination, datagram)
-
     def _deliver_final(self, destination: str, datagram: Datagram) -> None:
-        self.trace.record(
-            "datagram-delivered",
-            source=str(datagram.source),
-            destination=str(datagram.destination),
-            protocol=datagram.protocol,
-            size=datagram.size,
-        )
+        trace = self.trace
+        if trace.enabled:
+            trace.record(
+                "datagram-delivered",
+                source=str(datagram.source),
+                destination=str(datagram.destination),
+                protocol=datagram.protocol,
+                size=len(datagram.payload),
+            )
         self._hosts[destination].deliver(datagram)
 
     # ------------------------------------------------------------- statistics

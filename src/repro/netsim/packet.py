@@ -8,7 +8,7 @@ DNS, QUIC) build their own framing inside the payload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 
@@ -19,11 +19,17 @@ class Address:
     host: str
     port: int
 
-    def __str__(self) -> str:  # pragma: no cover - trivial
-        return f"{self.host}:{self.port}"
+    def __str__(self) -> str:
+        # Rendered twice per datagram by the trace layer; cache on first use.
+        try:
+            return self._str  # type: ignore[attr-defined]
+        except AttributeError:
+            text = f"{self.host}:{self.port}"
+            object.__setattr__(self, "_str", text)
+            return text
 
 
-@dataclass
+@dataclass(slots=True)
 class Datagram:
     """A single datagram in flight between two addresses.
 
@@ -37,14 +43,15 @@ class Datagram:
         A label used only for tracing and statistics (e.g. ``"udp-dns"``,
         ``"quic"``).
     metadata:
-        Free-form per-datagram annotations used by traces and tests.
+        Free-form per-datagram annotations; ``None`` until a writer needs
+        them, so the common (annotation-free) datagram carries no dict.
     """
 
     source: Address
     destination: Address
     payload: bytes
     protocol: str = "udp"
-    metadata: dict[str, Any] = field(default_factory=dict)
+    metadata: dict[str, Any] | None = None
 
     @property
     def size(self) -> int:

@@ -9,13 +9,27 @@ Determinism: events scheduled for the same instant fire in the order in which
 they were scheduled (FIFO tie-breaking via a monotonically increasing sequence
 number), and all randomness in the simulator is drawn from an explicitly
 seeded :class:`random.Random` owned by the simulator.
+
+Performance: this module is the innermost loop of every experiment and
+benchmark, so the event queue is engineered for constant-factor speed:
+
+* heap entries are plain ``(time, sequence, event)`` tuples, so ``heapq``
+  comparisons resolve on C-level int/float compares (the sequence number is
+  unique, the :class:`Event` object itself is never compared);
+* :class:`Event` uses ``__slots__`` and carries optional positional
+  arguments, so hot callers (the link layer) schedule bound methods directly
+  instead of allocating a closure per datagram;
+* cancellation is lazy — cancelled entries stay in the heap and are skipped
+  at pop time — but the queue is compacted whenever more than half of it is
+  dead, so timer-churn-heavy runs (retransmission and idle timers restarting
+  on every packet) do not grow the heap without bound;
+* :attr:`Simulator.pending_events` is a live counter, not an O(n) scan.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 
@@ -23,23 +37,43 @@ class SimulationError(Exception):
     """Raised for invalid interactions with the simulator."""
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
     Events are ordered by ``(time, sequence)`` so that simultaneous events run
     in scheduling order.  Cancelled events stay in the heap but are skipped
-    when popped.
+    when popped; the owning simulator compacts the heap when too many
+    cancelled entries accumulate.
     """
 
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "sequence", "callback", "args", "cancelled", "_simulator")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+        simulator: "Simulator",
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._simulator = simulator
 
     def cancel(self) -> None:
         """Mark the event so it will not run when its time comes."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        self._simulator._note_cancelled()
+
+
+#: Heaps smaller than this are never compacted — rebuilding a handful of
+#: entries costs more than lazily skipping them.
+_COMPACT_MIN_QUEUE = 64
 
 
 class Simulator:
@@ -54,42 +88,64 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 0) -> None:
-        self._now = 0.0
+        #: Current virtual time in seconds.  Read-only by convention: only
+        #: the run loop advances it (a plain attribute because the hot paths
+        #: read it hundreds of thousands of times per simulated second).
+        self.now = 0.0
         self._sequence = 0
-        self._queue: list[Event] = []
+        #: Min-heap of ``(time, sequence, event)`` tuples.
+        self._queue: list[tuple[float, int, Event]] = []
+        #: Live count of scheduled, not-yet-cancelled, not-yet-run events.
+        self._pending = 0
+        #: Count of cancelled entries still sitting in the heap.
+        self._dead_in_queue = 0
         self._running = False
         self.rng = random.Random(seed)
 
     @property
-    def now(self) -> float:
-        """Current virtual time in seconds."""
-        return self._now
-
-    @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._pending
 
-    def call_at(self, when: float, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` to run at absolute virtual time ``when``."""
-        if when < self._now:
+    def _note_cancelled(self) -> None:
+        self._pending -= 1
+        self._dead_in_queue += 1
+        queue = self._queue
+        if len(queue) >= _COMPACT_MIN_QUEUE and self._dead_in_queue * 2 > len(queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Rebuilding preserves ordering exactly: entries compare by their
+        ``(time, sequence)`` prefix, which is unique per event.
+        """
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._dead_in_queue = 0
+
+    def call_at(self, when: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run at absolute virtual time ``when``."""
+        if when < self.now:
             raise SimulationError(
-                f"cannot schedule event in the past: {when} < {self._now}"
+                f"cannot schedule event in the past: {when} < {self.now}"
             )
-        event = Event(time=when, sequence=self._sequence, callback=callback)
-        self._sequence += 1
-        heapq.heappush(self._queue, event)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(when, sequence, callback, args, self)
+        heapq.heappush(self._queue, (when, sequence, event))
+        self._pending += 1
         return event
 
-    def call_later(self, delay: float, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` to run ``delay`` seconds from now."""
+    def call_later(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.call_at(self._now + delay, callback)
+        return self.call_at(self.now + delay, callback, *args)
 
-    def call_soon(self, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` to run at the current virtual time."""
-        return self.call_at(self._now, callback)
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run at the current virtual time."""
+        return self.call_at(self.now, callback, *args)
 
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Run events until the queue drains or a bound is hit.
@@ -111,24 +167,32 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         executed = 0
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue:
+            while queue:
                 if max_events is not None and executed >= max_events:
                     break
-                event = self._queue[0]
+                time, _, event = queue[0]
                 if event.cancelled:
-                    heapq.heappop(self._queue)
+                    pop(queue)
+                    self._dead_in_queue -= 1
                     continue
-                if until is not None and event.time > until:
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._queue)
-                self._now = max(self._now, event.time)
-                event.callback()
+                pop(queue)
+                self._pending -= 1
+                # Consumed: a late cancel() must not touch the counters.
+                event.cancelled = True
+                if time > self.now:
+                    self.now = time
+                event.callback(*event.args)
                 executed += 1
+                queue = self._queue  # _compact() may have replaced the list
         finally:
             self._running = False
-        if until is not None and self._now < until:
-            self._now = until
+        if until is not None and self.now < until:
+            self.now = until
         return executed
 
     def run_until_idle(self, max_events: int = 1_000_000) -> int:
@@ -139,7 +203,7 @@ class Simulator:
         """Advance the clock by ``delta`` seconds, running due events."""
         if delta < 0:
             raise SimulationError(f"cannot advance by negative delta: {delta}")
-        return self.run(until=self._now + delta)
+        return self.run(until=self.now + delta)
 
 
 class Timer:
@@ -148,12 +212,23 @@ class Timer:
     Protocol components use timers for idle timeouts, retransmissions and
     periodic refresh.  A timer may be (re)started, stopped and queried; the
     callback fires once per start unless restarted.
+
+    Restarts are lazy: timers like a connection's idle timeout are pushed
+    back on every packet, so re-arming eagerly would cancel and re-insert a
+    heap entry per packet.  Instead, extending the deadline only updates a
+    float; the already-armed event wakes at the old deadline, notices the
+    deadline moved, and re-arms itself for the remainder.  Shrinking the
+    deadline still replaces the armed event, so the callback never fires
+    late.
     """
+
+    __slots__ = ("_simulator", "_callback", "_event", "_deadline")
 
     def __init__(self, simulator: Simulator, callback: Callable[[], None]) -> None:
         self._simulator = simulator
         self._callback = callback
         self._event: Event | None = None
+        self._deadline: float | None = None
 
     @property
     def is_running(self) -> bool:
@@ -163,13 +238,22 @@ class Timer:
     @property
     def deadline(self) -> float | None:
         """Absolute time at which the timer will fire, if armed."""
-        if self.is_running and self._event is not None:
-            return self._event.time
+        if self.is_running:
+            return self._deadline
         return None
 
     def start(self, delay: float) -> None:
         """Arm (or re-arm) the timer to fire ``delay`` seconds from now."""
-        self.stop()
+        deadline = self._simulator.now + delay
+        event = self._event
+        if event is not None and not event.cancelled and event.time <= deadline:
+            # The armed wake fires at or before the new deadline; _fire will
+            # re-arm for the remainder.  No heap traffic on the hot path.
+            self._deadline = deadline
+            return
+        if event is not None:
+            event.cancel()
+        self._deadline = deadline
         self._event = self._simulator.call_later(delay, self._fire)
 
     def stop(self) -> None:
@@ -177,14 +261,23 @@ class Timer:
         if self._event is not None:
             self._event.cancel()
             self._event = None
+        self._deadline = None
 
     def _fire(self) -> None:
+        deadline = self._deadline
+        if deadline is not None and deadline > self._simulator.now:
+            # The deadline was pushed back while the wake was armed.
+            self._event = self._simulator.call_at(deadline, self._fire)
+            return
         self._event = None
+        self._deadline = None
         self._callback()
 
 
 class PeriodicTask:
     """Repeatedly invokes a callback at a fixed virtual-time interval."""
+
+    __slots__ = ("_simulator", "_interval", "_callback", "_event", "_stopped")
 
     def __init__(
         self,
@@ -206,8 +299,15 @@ class PeriodicTask:
         return not self._stopped
 
     def start(self, initial_delay: float | None = None) -> None:
-        """Start firing; the first invocation happens after ``initial_delay``."""
+        """Start firing; the first invocation happens after ``initial_delay``.
+
+        Restarting an already-running task cancels the armed tick first —
+        otherwise the old chain would keep rescheduling itself alongside the
+        new one and the callback would fire twice per interval.
+        """
         delay = self._interval if initial_delay is None else initial_delay
+        if self._event is not None:
+            self._event.cancel()
         self._stopped = False
         self._event = self._simulator.call_later(delay, self._tick)
 
@@ -221,8 +321,11 @@ class PeriodicTask:
     def _tick(self) -> None:
         if self._stopped:
             return
+        self._event = None
         self._callback()
-        if not self._stopped:
+        # The callback may have called start() itself (re-phasing the task);
+        # arming a second chain on top of that one would double-fire.
+        if not self._stopped and self._event is None:
             self._event = self._simulator.call_later(self._interval, self._tick)
 
 

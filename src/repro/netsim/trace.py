@@ -15,7 +15,7 @@ from typing import Any, Callable, Iterable
 from repro.netsim.simulator import Simulator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """A single trace entry."""
 
@@ -38,24 +38,46 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Collects :class:`TraceEvent` entries during a simulation run."""
+    """Collects :class:`TraceEvent` entries during a simulation run.
+
+    Recording sits on the per-datagram fast path, so :meth:`record` only
+    appends a raw ``(time, kind, attributes)`` tuple; :class:`TraceEvent`
+    objects (with their canonically sorted attribute tuples) are materialised
+    lazily the first time the trace is read.
+    """
+
+    #: Hot callers (the network layer) may skip building record arguments
+    #: entirely when this is False (see :class:`NullTraceRecorder`).
+    enabled = True
 
     def __init__(self, simulator: Simulator) -> None:
         self._simulator = simulator
-        self._events: list[TraceEvent] = []
+        self._raw: list[tuple[float, str, dict[str, Any]]] = []
+        self._materialized: list[TraceEvent] = []
         self._listeners: list[Callable[[TraceEvent], None]] = []
 
-    def record(self, kind: str, **attributes: Any) -> TraceEvent:
+    def record(self, kind: str, **attributes: Any) -> None:
         """Append an event timestamped at the current virtual time."""
-        event = TraceEvent(
-            time=self._simulator.now,
-            kind=kind,
-            attributes=tuple(sorted(attributes.items())),
-        )
-        self._events.append(event)
-        for listener in self._listeners:
-            listener(event)
-        return event
+        self._raw.append((self._simulator.now, kind, attributes))
+        if self._listeners:
+            event = self._events_list()[-1]
+            for listener in self._listeners:
+                listener(event)
+
+    def _events_list(self) -> list[TraceEvent]:
+        """Materialise (and cache) TraceEvent objects for all raw entries."""
+        materialized = self._materialized
+        raw = self._raw
+        if len(materialized) < len(raw):
+            for time, kind, attributes in raw[len(materialized):]:
+                materialized.append(
+                    TraceEvent(
+                        time=time,
+                        kind=kind,
+                        attributes=tuple(sorted(attributes.items())),
+                    )
+                )
+        return materialized
 
     def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
         """Register a callback invoked for every future event."""
@@ -64,28 +86,49 @@ class TraceRecorder:
     def events(self, kind: str | None = None) -> list[TraceEvent]:
         """All events, optionally filtered by kind."""
         if kind is None:
-            return list(self._events)
-        return [event for event in self._events if event.kind == kind]
+            return list(self._events_list())
+        return [event for event in self._events_list() if event.kind == kind]
 
     def count(self, kind: str | None = None) -> int:
         """Number of events of the given kind (or all events)."""
-        return len(self.events(kind))
+        if kind is None:
+            return len(self._raw)
+        return sum(1 for _, event_kind, _ in self._raw if event_kind == kind)
 
     def clear(self) -> None:
         """Drop all recorded events."""
-        self._events.clear()
+        self._raw.clear()
+        self._materialized.clear()
 
     def filter(self, predicate: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
         """Events matching an arbitrary predicate."""
-        return [event for event in self._events if predicate(event)]
+        return [event for event in self._events_list() if predicate(event)]
 
     def kinds(self) -> list[str]:
         """Distinct event kinds in order of first occurrence."""
         seen: list[str] = []
-        for event in self._events:
-            if event.kind not in seen:
-                seen.append(event.kind)
+        for _, kind, _ in self._raw:
+            if kind not in seen:
+                seen.append(kind)
         return seen
+
+
+class NullTraceRecorder(TraceRecorder):
+    """A recorder that drops everything.
+
+    For throughput-oriented simulations (large fan-out benchmarks) that never
+    read their traces: per-datagram recording is pure overhead there.
+    Listeners are unsupported — subscribing raises, so silently losing events
+    is impossible.
+    """
+
+    enabled = False
+
+    def record(self, kind: str, **attributes: Any) -> None:
+        """Drop the event."""
+
+    def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        raise RuntimeError("NullTraceRecorder drops events; attach a TraceRecorder instead")
 
 
 def format_sequence(

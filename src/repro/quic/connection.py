@@ -39,6 +39,7 @@ from repro.quic.frames import (
     StreamFrame,
 )
 from repro.quic.packet import Packet, PacketType
+from repro.quic.varint import append_varint
 from repro.quic.stream import (
     QuicStream,
     StreamDirection,
@@ -384,10 +385,15 @@ class QuicConnection:
         """Process one incoming UDP payload carrying a QUIC packet."""
         if self.closed:
             return
+        self.packet_received(Packet.decode(payload), len(payload))
+
+    def packet_received(self, packet: Packet, wire_size: int) -> None:
+        """Process one already-decoded incoming packet of ``wire_size`` bytes."""
+        if self.closed:
+            return
         self.statistics.packets_received += 1
-        self.statistics.bytes_received += len(payload)
+        self.statistics.bytes_received += wire_size
         self._restart_idle_timer()
-        packet = Packet.decode(payload)
         ack_needed = packet.is_ack_eliciting
         for frame in packet.frames:
             self._process_frame(packet, frame)
@@ -397,24 +403,31 @@ class QuicConnection:
             self._send_ack(packet.packet_number)
 
     def _send_ack(self, packet_number: int) -> None:
-        ack = Packet(
-            packet_type=PacketType.ONE_RTT if self.handshake_complete else PacketType.INITIAL,
-            connection_id=self.connection_id,
-            packet_number=self._next_packet_number,
-            frames=(AckFrame(largest=packet_number),),
+        # Hand-assembled wire bytes (identical to encoding a one-AckFrame
+        # Packet): an ACK rides every ack-eliciting packet, so this path runs
+        # once per received data packet and skips the Packet/Frame objects.
+        buffer = bytearray()
+        buffer.append(
+            int(PacketType.ONE_RTT if self.handshake_complete else PacketType.INITIAL)
         )
+        append_varint(buffer, self.connection_id)
+        append_varint(buffer, self._next_packet_number)
         self._next_packet_number += 1
-        self._transmit(ack)
+        payload = bytearray()
+        append_varint(payload, 0x02)  # FrameType.ACK
+        append_varint(payload, packet_number)
+        append_varint(payload, 0)  # ack delay
+        append_varint(buffer, len(payload))
+        buffer += payload
+        wire = bytes(buffer)
+        self.statistics.packets_sent += 1
+        self.statistics.bytes_sent += len(wire)
+        self._send(wire, self.peer_address)
+        self._restart_idle_timer()
 
     def _process_frame(self, packet: Packet, frame: Frame) -> None:
-        if isinstance(frame, CryptoFrame):
-            if self.is_client:
-                self._process_server_hello(frame)
-            else:
-                self._process_client_hello(frame)
-        elif isinstance(frame, AckFrame):
-            self._process_ack(frame)
-        elif isinstance(frame, StreamFrame):
+        # Ordered by frequency: streams and acks carry virtually all traffic.
+        if isinstance(frame, StreamFrame):
             if not self.is_client and packet.packet_type == PacketType.ZERO_RTT:
                 if not self.early_data_accepted and self.handshake_complete:
                     return  # rejected early data is dropped
@@ -422,6 +435,13 @@ class QuicConnection:
             if stream._on_data is None and self.on_stream_data is not None:
                 stream.set_data_callback(self.on_stream_data)
             stream.receive(frame.offset, frame.data, frame.fin)
+        elif isinstance(frame, AckFrame):
+            self._process_ack(frame)
+        elif isinstance(frame, CryptoFrame):
+            if self.is_client:
+                self._process_server_hello(frame)
+            else:
+                self._process_client_hello(frame)
         elif isinstance(frame, DatagramFrame):
             self.statistics.datagrams_received += 1
             if self.on_datagram is not None:
@@ -451,8 +471,18 @@ class QuicConnection:
 
     # ------------------------------------------------------------------ timers
     def _restart_idle_timer(self) -> None:
-        if not self.closed:
-            self._idle_timer.start(self.config.idle_timeout)
+        if self.closed:
+            return
+        # Inlined Timer.start fast path (this runs for every packet sent and
+        # received): extending the deadline of an armed timer is one float
+        # assignment, no heap traffic.
+        timer = self._idle_timer
+        deadline = self._simulator.now + self.config.idle_timeout
+        event = timer._event  # noqa: SLF001 - hot path, same package
+        if event is not None and not event.cancelled and event.time <= deadline:
+            timer._deadline = deadline  # noqa: SLF001
+        else:
+            timer.start(self.config.idle_timeout)
 
     def _on_idle_timeout(self) -> None:
         self._handle_close(int(TransportErrorCode.NO_ERROR), "idle timeout", send_close=False)

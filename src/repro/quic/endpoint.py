@@ -152,7 +152,9 @@ class QuicEndpoint:
             connection = self._accept(packet, datagram.source)
             if connection is None:
                 return
-        connection.datagram_received(datagram.payload)
+        # The packet was already parsed for demultiplexing; hand the decoded
+        # form to the connection instead of making it parse the bytes again.
+        connection.packet_received(packet, len(datagram.payload))
 
     # --------------------------------------------------------------- lifecycle
     def connections(self) -> list[QuicConnection]:

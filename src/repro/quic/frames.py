@@ -5,6 +5,14 @@ ACK, CRYPTO, NEW_TOKEN-style session tickets are folded into CRYPTO payloads,
 STREAM (with offset/length/fin), MAX_DATA-style flow control is omitted (the
 simulation does not model flow-control blocking), DATAGRAM (RFC 9221),
 CONNECTION_CLOSE and HANDSHAKE_DONE.
+
+Serialisation is batched: every frame writes itself into a shared
+``bytearray`` via :meth:`Frame.encode_into`, so a packet's frames are encoded
+with a single output buffer and no per-frame writer objects or byte-string
+joins.  :meth:`Frame.encode` remains as the single-frame convenience wrapper.
+Frames are plain slotted dataclasses (not frozen): tens of thousands are
+created per simulated second, and frozen dataclasses pay an
+``object.__setattr__`` per field on construction.
 """
 
 from __future__ import annotations
@@ -12,7 +20,11 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.quic.varint import VarintReader, VarintWriter
+from repro.quic.varint import (
+    VarintError,
+    append_varint,
+    _VALUE_MASK,
+)
 
 
 class FrameType(enum.IntEnum):
@@ -28,62 +40,65 @@ class FrameType(enum.IntEnum):
     DATAGRAM = 0x30
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Frame:
     """Base class for all frames."""
 
-    def encode(self) -> bytes:
-        """Serialise the frame including its type byte."""
+    def encode_into(self, buffer: bytearray) -> None:
+        """Append the frame's wire encoding (including type) to ``buffer``."""
         raise NotImplementedError
 
+    def encode(self) -> bytes:
+        """Serialise the frame including its type byte."""
+        buffer = bytearray()
+        self.encode_into(buffer)
+        return bytes(buffer)
 
-@dataclass(frozen=True)
+
+@dataclass(slots=True)
 class PaddingFrame(Frame):
     """PADDING: a run of zero bytes used to grow Initial packets."""
 
     length: int = 1
 
-    def encode(self) -> bytes:
-        return bytes(self.length)
+    def encode_into(self, buffer: bytearray) -> None:
+        buffer += bytes(self.length)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class PingFrame(Frame):
     """PING: elicits an acknowledgement; used for liveness checks (§5.1)."""
 
-    def encode(self) -> bytes:
-        return bytes([FrameType.PING])
+    def encode_into(self, buffer: bytearray) -> None:
+        buffer.append(FrameType.PING)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class AckFrame(Frame):
     """ACK: acknowledges every packet number up to and including ``largest``."""
 
     largest: int
     delay_us: int = 0
 
-    def encode(self) -> bytes:
-        writer = VarintWriter()
-        writer.write_varint(FrameType.ACK)
-        writer.write_varint(self.largest)
-        writer.write_varint(self.delay_us)
-        return writer.getvalue()
+    def encode_into(self, buffer: bytearray) -> None:
+        append_varint(buffer, FrameType.ACK)
+        append_varint(buffer, self.largest)
+        append_varint(buffer, self.delay_us)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class CryptoFrame(Frame):
     """CRYPTO: carries the simulated TLS handshake messages."""
 
     data: bytes
 
-    def encode(self) -> bytes:
-        writer = VarintWriter()
-        writer.write_varint(FrameType.CRYPTO)
-        writer.write_length_prefixed(self.data)
-        return writer.getvalue()
+    def encode_into(self, buffer: bytearray) -> None:
+        append_varint(buffer, FrameType.CRYPTO)
+        append_varint(buffer, len(self.data))
+        buffer += self.data
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class StreamFrame(Frame):
     """STREAM: ordered application data on a stream."""
 
@@ -92,92 +107,158 @@ class StreamFrame(Frame):
     data: bytes
     fin: bool = False
 
-    def encode(self) -> bytes:
-        writer = VarintWriter()
-        writer.write_varint(FrameType.STREAM)
-        writer.write_varint(self.stream_id)
-        writer.write_varint(self.offset)
-        writer.write_varint(1 if self.fin else 0)
-        writer.write_length_prefixed(self.data)
-        return writer.getvalue()
+    def encode_into(self, buffer: bytearray) -> None:
+        append_varint(buffer, FrameType.STREAM)
+        append_varint(buffer, self.stream_id)
+        append_varint(buffer, self.offset)
+        buffer.append(1 if self.fin else 0)
+        append_varint(buffer, len(self.data))
+        buffer += self.data
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class DatagramFrame(Frame):
     """DATAGRAM (RFC 9221): unreliable application data."""
 
     data: bytes
 
-    def encode(self) -> bytes:
-        writer = VarintWriter()
-        writer.write_varint(FrameType.DATAGRAM)
-        writer.write_length_prefixed(self.data)
-        return writer.getvalue()
+    def encode_into(self, buffer: bytearray) -> None:
+        append_varint(buffer, FrameType.DATAGRAM)
+        append_varint(buffer, len(self.data))
+        buffer += self.data
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ConnectionCloseFrame(Frame):
     """CONNECTION_CLOSE: terminates the connection."""
 
     error_code: int
     reason: str = ""
 
-    def encode(self) -> bytes:
-        writer = VarintWriter()
-        writer.write_varint(FrameType.CONNECTION_CLOSE)
-        writer.write_varint(self.error_code)
-        writer.write_length_prefixed(self.reason.encode("utf-8"))
-        return writer.getvalue()
+    def encode_into(self, buffer: bytearray) -> None:
+        append_varint(buffer, FrameType.CONNECTION_CLOSE)
+        append_varint(buffer, self.error_code)
+        encoded_reason = self.reason.encode("utf-8")
+        append_varint(buffer, len(encoded_reason))
+        buffer += encoded_reason
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class HandshakeDoneFrame(Frame):
     """HANDSHAKE_DONE: server's confirmation that the handshake completed."""
 
-    def encode(self) -> bytes:
-        return bytes([FrameType.HANDSHAKE_DONE])
+    def encode_into(self, buffer: bytearray) -> None:
+        buffer.append(FrameType.HANDSHAKE_DONE)
 
 
 def encode_frames(frames: list[Frame]) -> bytes:
     """Concatenate the encodings of several frames."""
-    return b"".join(frame.encode() for frame in frames)
+    buffer = bytearray()
+    for frame in frames:
+        frame.encode_into(buffer)
+    return bytes(buffer)
+
+
+def encode_frames_into(buffer: bytearray, frames: tuple[Frame, ...] | list[Frame]) -> None:
+    """Append the encodings of several frames to an existing buffer."""
+    for frame in frames:
+        frame.encode_into(buffer)
 
 
 def decode_frames(payload: bytes) -> list[Frame]:
     """Parse a packet payload into frames."""
-    frames: list[Frame] = []
-    reader = VarintReader(payload)
-    while not reader.at_end():
-        frame_type = reader.read_varint()
-        if frame_type == FrameType.PADDING:
-            # A run of padding: swallow consecutive zero bytes.
-            length = 1
-            while not reader.at_end() and payload[reader.offset] == 0:
-                reader.read_uint8()
-                length += 1
-            frames.append(PaddingFrame(length))
-        elif frame_type == FrameType.PING:
-            frames.append(PingFrame())
-        elif frame_type == FrameType.ACK:
-            largest = reader.read_varint()
-            delay = reader.read_varint()
-            frames.append(AckFrame(largest=largest, delay_us=delay))
-        elif frame_type == FrameType.CRYPTO:
-            frames.append(CryptoFrame(reader.read_length_prefixed()))
-        elif frame_type == FrameType.STREAM:
-            stream_id = reader.read_varint()
-            offset = reader.read_varint()
-            fin = reader.read_varint() == 1
-            data = reader.read_length_prefixed()
-            frames.append(StreamFrame(stream_id=stream_id, offset=offset, data=data, fin=fin))
-        elif frame_type == FrameType.DATAGRAM:
-            frames.append(DatagramFrame(reader.read_length_prefixed()))
-        elif frame_type == FrameType.CONNECTION_CLOSE:
-            code = reader.read_varint()
-            reason = reader.read_length_prefixed().decode("utf-8")
-            frames.append(ConnectionCloseFrame(error_code=code, reason=reason))
-        elif frame_type == FrameType.HANDSHAKE_DONE:
-            frames.append(HandshakeDoneFrame())
-        else:
-            raise ValueError(f"unknown frame type: {frame_type:#x}")
+    frames, _ = decode_frames_range(payload, 0, len(payload))
     return frames
+
+
+#: Local aliases so the decode loop below resolves them without module-dict
+#: lookups per field.
+_STREAM = int(FrameType.STREAM)
+_ACK = int(FrameType.ACK)
+_PADDING = int(FrameType.PADDING)
+_PING = int(FrameType.PING)
+_CRYPTO = int(FrameType.CRYPTO)
+_DATAGRAM = int(FrameType.DATAGRAM)
+_CONNECTION_CLOSE = int(FrameType.CONNECTION_CLOSE)
+_HANDSHAKE_DONE = int(FrameType.HANDSHAKE_DONE)
+
+
+def decode_frames_range(
+    view: bytes | memoryview, offset: int, end: int
+) -> tuple[list[Frame], int]:
+    """Parse frames from ``view[offset:end]``; returns ``(frames, next_offset)``.
+
+    Lets the packet decoder parse frames in place instead of copying the
+    payload out and wrapping it in a second reader.  The varint reads are
+    inlined: at roughly ten varints per packet, per-read method dispatch
+    would otherwise dominate the decode cost.
+    """
+    frames: list[Frame] = []
+    from_bytes = int.from_bytes
+    mask = _VALUE_MASK
+
+    def read_varint() -> int:
+        nonlocal offset
+        if offset >= end:
+            raise VarintError("truncated varint: no bytes available")
+        first = view[offset]
+        prefix = first >> 6
+        if prefix == 0:
+            offset += 1
+            return first
+        stop = offset + (1 << prefix)
+        if stop > end:
+            raise VarintError(f"truncated varint: need {1 << prefix} bytes")
+        value = from_bytes(view[offset:stop], "big") & mask[prefix]
+        offset = stop
+        return value
+
+    def read_length_prefixed() -> bytes:
+        nonlocal offset
+        length = read_varint()
+        stop = offset + length
+        if stop > end:
+            raise VarintError(f"truncated data: need {length} bytes")
+        chunk = view[offset:stop]
+        offset = stop
+        return chunk if type(chunk) is bytes else bytes(chunk)
+
+    try:
+        while offset < end:
+            frame_type = read_varint()
+            if frame_type == _STREAM:
+                stream_id = read_varint()
+                stream_offset = read_varint()
+                fin = read_varint() == 1
+                data = read_length_prefixed()
+                frames.append(
+                    StreamFrame(stream_id=stream_id, offset=stream_offset, data=data, fin=fin)
+                )
+            elif frame_type == _ACK:
+                largest = read_varint()
+                delay = read_varint()
+                frames.append(AckFrame(largest=largest, delay_us=delay))
+            elif frame_type == _PADDING:
+                # A run of padding: swallow consecutive zero bytes.
+                length = 1
+                while offset < end and view[offset] == 0:
+                    offset += 1
+                    length += 1
+                frames.append(PaddingFrame(length))
+            elif frame_type == _PING:
+                frames.append(PingFrame())
+            elif frame_type == _CRYPTO:
+                frames.append(CryptoFrame(read_length_prefixed()))
+            elif frame_type == _DATAGRAM:
+                frames.append(DatagramFrame(read_length_prefixed()))
+            elif frame_type == _CONNECTION_CLOSE:
+                code = read_varint()
+                reason = read_length_prefixed().decode("utf-8")
+                frames.append(ConnectionCloseFrame(error_code=code, reason=reason))
+            elif frame_type == _HANDSHAKE_DONE:
+                frames.append(HandshakeDoneFrame())
+            else:
+                raise ValueError(f"unknown frame type: {frame_type:#x}")
+    except IndexError:
+        raise VarintError("truncated varint: no bytes available") from None
+    return frames, offset

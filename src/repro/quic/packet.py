@@ -12,8 +12,14 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.quic.frames import Frame, decode_frames, encode_frames
-from repro.quic.varint import VarintReader, VarintWriter
+from repro.quic.frames import (
+    AckFrame,
+    Frame,
+    PaddingFrame,
+    decode_frames_range,
+    encode_frames_into,
+)
+from repro.quic.varint import VarintError, append_varint, _VALUE_MASK
 
 
 class PacketType(enum.IntEnum):
@@ -25,7 +31,10 @@ class PacketType(enum.IntEnum):
     ONE_RTT = 3
 
 
-@dataclass(frozen=True)
+_PACKET_TYPE_BY_VALUE = {member.value: member for member in PacketType}
+
+
+@dataclass(slots=True)
 class Packet:
     """A QUIC packet: type, connection id, packet number and frames."""
 
@@ -35,37 +44,93 @@ class Packet:
     frames: tuple[Frame, ...] = field(default_factory=tuple)
 
     def encode(self) -> bytes:
-        """Serialise the packet."""
-        writer = VarintWriter()
-        writer.write_uint8(int(self.packet_type))
-        writer.write_varint(self.connection_id)
-        writer.write_varint(self.packet_number)
-        writer.write_length_prefixed(encode_frames(list(self.frames)))
-        return writer.getvalue()
+        """Serialise the packet.
+
+        Header and frames are written into one buffer; the frame payload is
+        batched separately only because its varint length prefixes it.
+        """
+        payload = bytearray()
+        encode_frames_into(payload, self.frames)
+        buffer = bytearray()
+        buffer.append(int(self.packet_type))
+        append_varint(buffer, self.connection_id)
+        append_varint(buffer, self.packet_number)
+        append_varint(buffer, len(payload))
+        buffer += payload
+        return bytes(buffer)
 
     @classmethod
     def decode(cls, data: bytes) -> "Packet":
-        """Parse a packet from bytes."""
-        reader = VarintReader(data)
-        packet_type = PacketType(reader.read_uint8())
-        connection_id = reader.read_varint()
-        packet_number = reader.read_varint()
-        payload = reader.read_length_prefixed()
+        """Parse a packet from bytes.
+
+        Header varints are parsed inline (this runs once per simulated
+        datagram); the frames are parsed in place by
+        :func:`~repro.quic.frames.decode_frames_range` without copying the
+        payload out.
+        """
+        length = len(data)
+        if length == 0:
+            raise VarintError("truncated packet: empty datagram")
+        packet_type = _PACKET_TYPE_BY_VALUE[data[0]]
+        offset = 1
+        from_bytes = int.from_bytes
+        mask = _VALUE_MASK
+        try:
+            # Three header varints, unrolled: connection id, packet number,
+            # payload length.
+            first = data[offset]
+            prefix = first >> 6
+            if prefix == 0:
+                connection_id = first
+                offset += 1
+            else:
+                stop = offset + (1 << prefix)
+                if stop > length:
+                    raise VarintError("truncated packet header")
+                connection_id = from_bytes(data[offset:stop], "big") & mask[prefix]
+                offset = stop
+            first = data[offset]
+            prefix = first >> 6
+            if prefix == 0:
+                packet_number = first
+                offset += 1
+            else:
+                stop = offset + (1 << prefix)
+                if stop > length:
+                    raise VarintError("truncated packet header")
+                packet_number = from_bytes(data[offset:stop], "big") & mask[prefix]
+                offset = stop
+            first = data[offset]
+            prefix = first >> 6
+            if prefix == 0:
+                payload_length = first
+                offset += 1
+            else:
+                stop = offset + (1 << prefix)
+                if stop > length:
+                    raise VarintError("truncated packet header")
+                payload_length = from_bytes(data[offset:stop], "big") & mask[prefix]
+                offset = stop
+        except IndexError:
+            raise VarintError("truncated packet header") from None
+        end = offset + payload_length
+        if end > length:
+            raise VarintError(f"truncated packet payload: need {payload_length} bytes")
+        frames, _ = decode_frames_range(data, offset, end)
         return cls(
             packet_type=packet_type,
             connection_id=connection_id,
             packet_number=packet_number,
-            frames=tuple(decode_frames(payload)),
+            frames=tuple(frames),
         )
 
     @property
     def is_ack_eliciting(self) -> bool:
         """Whether the peer must acknowledge this packet."""
-        from repro.quic.frames import AckFrame, PaddingFrame
-
-        return any(
-            not isinstance(frame, (AckFrame, PaddingFrame)) for frame in self.frames
-        )
+        for frame in self.frames:
+            if not isinstance(frame, (AckFrame, PaddingFrame)):
+                return True
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kinds = ",".join(type(frame).__name__ for frame in self.frames)

@@ -11,7 +11,6 @@ opened by the publisher.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Callable
 
 
@@ -42,31 +41,39 @@ def stream_is_unidirectional(stream_id: int) -> bool:
     return stream_id & 0x2 != 0
 
 
-@dataclass
 class _ReceiveBuffer:
     """Reassembles stream data received possibly out of order."""
 
-    segments: dict[int, bytes] = field(default_factory=dict)
-    delivered: int = 0
-    fin_offset: int | None = None
+    __slots__ = ("segments", "delivered", "fin_offset")
 
-    def insert(self, offset: int, data: bytes, fin: bool) -> None:
+    def __init__(self) -> None:
+        self.segments: dict[int, bytes] = {}
+        self.delivered = 0
+        self.fin_offset: int | None = None
+
+    def receive(self, offset: int, data: bytes, fin: bool) -> tuple[bytes, bool]:
+        """Insert one frame and return newly contiguous data plus FIN state."""
+        if fin:
+            self.fin_offset = offset + len(data)
+        # Fast path: in-order data with nothing buffered (the overwhelmingly
+        # common case on a loss-free link) is contiguous as-is — no segment
+        # dict traffic and no reassembly copy.
+        if offset == self.delivered and not self.segments:
+            self.delivered = offset + len(data)
+            return data, self._finished()
         # Retransmissions replay frames verbatim; segments that were already
         # delivered must not re-enter the buffer (they would never drain).
         if data and offset >= self.delivered:
             self.segments[offset] = data
-        if fin:
-            self.fin_offset = offset + len(data)
-
-    def drain(self) -> tuple[bytes, bool]:
-        """Return newly contiguous data and whether the FIN has been reached."""
         output = bytearray()
         while self.delivered in self.segments:
             chunk = self.segments.pop(self.delivered)
             output += chunk
             self.delivered += len(chunk)
-        finished = self.fin_offset is not None and self.delivered >= self.fin_offset
-        return bytes(output), finished
+        return bytes(output), self._finished()
+
+    def _finished(self) -> bool:
+        return self.fin_offset is not None and self.delivered >= self.fin_offset
 
 
 class QuicStream:
@@ -76,6 +83,18 @@ class QuicStream:
     building packets, and a receive path that reassembles incoming
     ``STREAM`` frames and hands contiguous data to the registered callback.
     """
+
+    __slots__ = (
+        "stream_id",
+        "_send_offset",
+        "_pending_send",
+        "_receive",
+        "_on_data",
+        "send_closed",
+        "receive_closed",
+        "bytes_sent",
+        "bytes_received",
+    )
 
     def __init__(
         self,
@@ -133,8 +152,7 @@ class QuicStream:
         consumers process the FIN twice.
         """
         already_finished = self.receive_closed
-        self._receive.insert(offset, data, fin)
-        contiguous, finished = self._receive.drain()
+        contiguous, finished = self._receive.receive(offset, data, fin)
         self.bytes_received += len(contiguous)
         if finished:
             self.receive_closed = True

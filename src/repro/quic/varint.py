@@ -3,6 +3,13 @@
 Varints encode unsigned integers up to 2^62 - 1 in 1, 2, 4 or 8 bytes; the
 two most significant bits of the first byte give the length.  The same
 encoding is used throughout MoQT, so the MoQT codec imports these helpers.
+
+This module sits under every packet, frame and control message the simulator
+moves, so the codec is written for speed: one-byte encodings come from a
+precomputed table, multi-byte encodings ride ``int.to_bytes`` /
+``int.from_bytes`` (single C calls instead of per-byte Python arithmetic),
+and :class:`VarintReader` parses over a :class:`memoryview` so cursors over
+large buffers never copy the underlying data to read a varint.
 """
 
 from __future__ import annotations
@@ -12,6 +19,13 @@ MAX_VARINT = (1 << 62) - 1
 _ONE_BYTE_MAX = 63
 _TWO_BYTE_MAX = 16383
 _FOUR_BYTE_MAX = 1073741823
+
+#: All 64 one-byte encodings, precomputed — the overwhelmingly common case
+#: (frame types, stream IDs, message types, small lengths).
+_ONE_BYTE = tuple(bytes((value,)) for value in range(64))
+
+#: Value masks indexed by the two-bit length prefix (1, 2, 4, 8 bytes).
+_VALUE_MASK = (0x3F, 0x3FFF, 0x3FFFFFFF, 0x3FFFFFFFFFFFFFFF)
 
 
 class VarintError(ValueError):
@@ -33,32 +47,38 @@ def varint_size(value: int) -> int:
 
 def encode_varint(value: int) -> bytes:
     """Encode ``value`` as a QUIC varint."""
-    size = varint_size(value)
-    if size == 1:
-        return bytes([value])
-    if size == 2:
-        return bytes([0x40 | (value >> 8), value & 0xFF])
-    if size == 4:
-        return bytes(
-            [
-                0x80 | (value >> 24),
-                (value >> 16) & 0xFF,
-                (value >> 8) & 0xFF,
-                value & 0xFF,
-            ]
-        )
-    return bytes(
-        [
-            0xC0 | (value >> 56),
-            (value >> 48) & 0xFF,
-            (value >> 40) & 0xFF,
-            (value >> 32) & 0xFF,
-            (value >> 24) & 0xFF,
-            (value >> 16) & 0xFF,
-            (value >> 8) & 0xFF,
-            value & 0xFF,
-        ]
-    )
+    if value <= _ONE_BYTE_MAX:
+        if value < 0:
+            raise VarintError(f"value out of varint range: {value}")
+        return _ONE_BYTE[value]
+    if value <= _TWO_BYTE_MAX:
+        return (0x4000 | value).to_bytes(2, "big")
+    if value <= _FOUR_BYTE_MAX:
+        return (0x80000000 | value).to_bytes(4, "big")
+    if value <= MAX_VARINT:
+        return (0xC000000000000000 | value).to_bytes(8, "big")
+    raise VarintError(f"value out of varint range: {value}")
+
+
+def append_varint(buffer: bytearray, value: int) -> None:
+    """Append the varint encoding of ``value`` to ``buffer`` in place.
+
+    The batch-serialisation entry point: frame and packet encoders share one
+    output buffer instead of allocating a writer (and joining byte strings)
+    per element.
+    """
+    if value <= _ONE_BYTE_MAX:
+        if value < 0:
+            raise VarintError(f"value out of varint range: {value}")
+        buffer += _ONE_BYTE[value]
+    elif value <= _TWO_BYTE_MAX:
+        buffer += (0x4000 | value).to_bytes(2, "big")
+    elif value <= _FOUR_BYTE_MAX:
+        buffer += (0x80000000 | value).to_bytes(4, "big")
+    elif value <= MAX_VARINT:
+        buffer += (0xC000000000000000 | value).to_bytes(8, "big")
+    else:
+        raise VarintError(f"value out of varint range: {value}")
 
 
 def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
@@ -70,13 +90,12 @@ def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
         raise VarintError("truncated varint: no bytes available")
     first = data[offset]
     prefix = first >> 6
-    length = 1 << prefix
-    if offset + length > len(data):
-        raise VarintError(f"truncated varint: need {length} bytes")
-    value = first & 0x3F
-    for index in range(1, length):
-        value = (value << 8) | data[offset + index]
-    return value, offset + length
+    if prefix == 0:
+        return first, offset + 1
+    end = offset + (1 << prefix)
+    if end > len(data):
+        raise VarintError(f"truncated varint: need {1 << prefix} bytes")
+    return int.from_bytes(data[offset:end], "big") & _VALUE_MASK[prefix], end
 
 
 class VarintReader:
@@ -84,10 +103,19 @@ class VarintReader:
 
     Both the QUIC packet parser and the MoQT message codec are written in
     terms of this reader, which keeps the parsing code flat and explicit.
+    ``data`` may be ``bytes``, ``bytearray`` or a ``memoryview``; mutable
+    buffers are wrapped in a :class:`memoryview` so cursors over reassembly
+    buffers never copy the data they scan (``bytes`` input is indexed and
+    sliced directly — already zero-cost to construct from).
     """
 
-    def __init__(self, data: bytes, offset: int = 0) -> None:
-        self._data = data
+    __slots__ = ("_view", "_length", "_offset")
+
+    def __init__(self, data: bytes | bytearray | memoryview, offset: int = 0) -> None:
+        if type(data) is not bytes and type(data) is not memoryview:
+            data = memoryview(data)
+        self._view = data
+        self._length = len(data)
         self._offset = offset
 
     @property
@@ -98,33 +126,60 @@ class VarintReader:
     @property
     def remaining(self) -> int:
         """Number of unread bytes."""
-        return len(self._data) - self._offset
+        return self._length - self._offset
 
     def at_end(self) -> bool:
         """Whether the cursor is at the end of the data."""
-        return self._offset >= len(self._data)
+        return self._offset >= self._length
 
     def read_varint(self) -> int:
         """Read one varint."""
-        value, self._offset = decode_varint(self._data, self._offset)
-        return value
+        offset = self._offset
+        if offset >= self._length:
+            raise VarintError("truncated varint: no bytes available")
+        view = self._view
+        first = view[offset]
+        prefix = first >> 6
+        if prefix == 0:
+            self._offset = offset + 1
+            return first
+        end = offset + (1 << prefix)
+        if end > self._length:
+            raise VarintError(f"truncated varint: need {1 << prefix} bytes")
+        self._offset = end
+        return int.from_bytes(view[offset:end], "big") & _VALUE_MASK[prefix]
 
     def read_bytes(self, count: int) -> bytes:
         """Read exactly ``count`` raw bytes."""
-        if self._offset + count > len(self._data):
+        end = self._offset + count
+        if end > self._length:
             raise VarintError(f"truncated data: need {count} bytes, have {self.remaining}")
-        chunk = self._data[self._offset: self._offset + count]
-        self._offset += count
-        return chunk
+        chunk = self._view[self._offset: end]
+        self._offset = end
+        return chunk if type(chunk) is bytes else bytes(chunk)
 
     def read_uint8(self) -> int:
         """Read a single byte as an unsigned integer."""
-        return self.read_bytes(1)[0]
+        offset = self._offset
+        if offset >= self._length:
+            raise VarintError("truncated data: need 1 bytes, have 0")
+        self._offset = offset + 1
+        return self._view[offset]
+
+    def peek_uint8(self) -> int:
+        """The next byte without advancing the cursor."""
+        if self._offset >= self._length:
+            raise VarintError("truncated data: need 1 bytes, have 0")
+        return self._view[self._offset]
 
     def read_uint16(self) -> int:
         """Read a two-byte big-endian unsigned integer."""
-        chunk = self.read_bytes(2)
-        return (chunk[0] << 8) | chunk[1]
+        end = self._offset + 2
+        if end > self._length:
+            raise VarintError(f"truncated data: need 2 bytes, have {self.remaining}")
+        value = int.from_bytes(self._view[self._offset: end], "big")
+        self._offset = end
+        return value
 
     def read_length_prefixed(self) -> bytes:
         """Read a varint length followed by that many bytes."""
@@ -133,20 +188,22 @@ class VarintReader:
 
     def read_remaining(self) -> bytes:
         """Read everything left."""
-        chunk = self._data[self._offset:]
-        self._offset = len(self._data)
-        return chunk
+        chunk = self._view[self._offset:]
+        self._offset = self._length
+        return chunk if type(chunk) is bytes else bytes(chunk)
 
 
 class VarintWriter:
     """Builds byte strings out of varints and length-prefixed chunks."""
+
+    __slots__ = ("_buffer",)
 
     def __init__(self) -> None:
         self._buffer = bytearray()
 
     def write_varint(self, value: int) -> "VarintWriter":
         """Append one varint."""
-        self._buffer += encode_varint(value)
+        append_varint(self._buffer, value)
         return self
 
     def write_bytes(self, data: bytes) -> "VarintWriter":
@@ -165,12 +222,12 @@ class VarintWriter:
         """Append a two-byte big-endian unsigned integer."""
         if not 0 <= value <= 0xFFFF:
             raise VarintError(f"uint16 out of range: {value}")
-        self._buffer += bytes([(value >> 8) & 0xFF, value & 0xFF])
+        self._buffer += value.to_bytes(2, "big")
         return self
 
     def write_length_prefixed(self, data: bytes) -> "VarintWriter":
         """Append a varint length followed by the data."""
-        self.write_varint(len(data))
+        append_varint(self._buffer, len(data))
         self._buffer += data
         return self
 
