@@ -12,7 +12,11 @@ Three micro/macro layers cover the simulation fast path end to end:
 * ``cdn_macro_10k`` — the 10,000-subscriber CDN-tree macro-benchmark.  It
   asserts the paper's origin-egress invariant: origin egress is
   O(branching factor) and must match the 1,000-subscriber run byte for byte
-  even though the subscriber population grew 10x.
+  even though the subscriber population grew 10x;
+* ``relay_churn`` — the E12 churn macro-benchmark: kill a mid-tier and an
+  edge relay under a live 1,000-subscriber CDN run and assert the delivery
+  contract survives (every subscriber sees a gapless, duplicate-free,
+  in-order sequence; re-attach latency matches the closed-form model).
 
 Results are written to ``BENCH_fastpath.json`` (schema documented in
 ``benchmarks/perf/README.md``) so the performance trajectory of the repo is
@@ -34,6 +38,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.experiments.relay_churn import run_relay_churn
 from repro.experiments.relay_fanout import run_relay_fanout
 from repro.netsim.simulator import Simulator, Timer
 from repro.quic.varint import (
@@ -44,7 +49,7 @@ from repro.quic.varint import (
     encode_varint,
 )
 
-SCHEMA = "bench-fastpath/v1"
+SCHEMA = "bench-fastpath/v2"
 
 #: Varint corpus: RFC 9000 boundary values of every size class plus
 #: mid-range representatives.
@@ -183,6 +188,56 @@ def bench_cdn_macro_10k(subscribers: int = 10_000, updates: int = 5) -> dict[str
     }
 
 
+def bench_relay_churn(subscribers: int = 1000) -> dict[str, object]:
+    """E12 churn macro-benchmark: relay kills under a live CDN run.
+
+    Wall-clock covers the whole experiment (build, subscribe, twelve pushed
+    updates, a mid-tier kill and an edge kill, recovery, drain).  The
+    correctness fields are machine-independent: delivery must stay gapless
+    and duplicate-free for every subscriber, and the per-tier re-attach
+    latencies must match the closed-form recovery model.
+    """
+    start = time.perf_counter()
+    result = run_relay_churn(subscribers=subscribers)
+    elapsed = time.perf_counter() - start
+    reattach: dict[str, dict[str, float]] = {}
+    model_ok = True
+    failover_complete = all(kill.complete for kill in result.kills)
+    for kill in result.kills:
+        for row in kill.rows():
+            # One entry per (killed relay, orphan tier): two kills orphaning
+            # the same tier must not overwrite each other's measurements.
+            reattach[f"{kill.killed}:{row['orphan_tier']}"] = {
+                "orphans": row["orphans"],
+                "mean_ms": row["reattach_ms_mean"],
+                "max_ms": row["reattach_ms_max"],
+                "model_ms": row["model_ms"],
+            }
+            if (
+                row["reattach_ms_max"] != row["model_ms"]
+                or row["reattach_ms_mean"] != row["model_ms"]
+            ):
+                model_ok = False
+    return {
+        "subscribers": subscribers,
+        "updates": result.updates,
+        "kills": len(result.kills),
+        "seconds": round(elapsed, 6),
+        "delivered_objects": result.delivered_objects,
+        "expected_objects": result.expected_objects,
+        "gapless_subscribers": result.gapless_subscribers,
+        "gapless_ok": result.gapless,
+        "duplicates_dropped": (
+            result.relay_duplicates_dropped + result.subscriber_duplicates_dropped
+        ),
+        "recovery_fetches": result.recovery_fetches + result.subscriber_gap_fetches,
+        "recovered_objects": result.recovered_objects,
+        "reattach_latency": reattach,
+        "reattach_model_ok": model_ok,
+        "failover_complete_ok": failover_complete,
+    }
+
+
 def run(smoke: bool = False, skip_macro: bool = False) -> dict[str, object]:
     """Run the harness and return the result document."""
     benchmarks: dict[str, object] = {}
@@ -193,6 +248,7 @@ def run(smoke: bool = False, skip_macro: bool = False) -> dict[str, object]:
     benchmarks["relay_fanout_e11"] = bench_relay_fanout_e11(
         subscribers=200 if smoke else 1000
     )
+    benchmarks["relay_churn"] = bench_relay_churn(subscribers=200 if smoke else 1000)
     if not skip_macro and not smoke:
         benchmarks["cdn_macro_10k"] = bench_cdn_macro_10k()
     return {
@@ -231,6 +287,13 @@ def main(argv: list[str] | None = None) -> int:
     macro = document["benchmarks"].get("cdn_macro_10k")
     if macro is not None and not macro["origin_egress_invariant_ok"]:
         print("FAIL: origin egress grew with subscriber count", file=sys.stderr)
+        return 1
+    churn = document["benchmarks"]["relay_churn"]
+    if not churn["gapless_ok"]:
+        print("FAIL: relay churn broke gapless delivery", file=sys.stderr)
+        return 1
+    if not churn["failover_complete_ok"]:
+        print("FAIL: relay churn left orphans unattached", file=sys.stderr)
         return 1
     print(f"wrote {output}")
     return 0

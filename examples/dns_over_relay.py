@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""DNS over relaynet: resolvers served by a CDN relay tree (§3, §5.3).
+
+The fan-out experiments push opaque objects through relay trees; this
+walkthrough closes the loop with *real DNS tracks*: an authoritative
+DNS-over-MoQT server sits at the origin of a CDN relay hierarchy, and the
+DNS-side clients point at **edge relays** instead of the authoritative
+server —
+
+* a :class:`~repro.core.forwarder.MoqForwarder` (the stub-side proxy an
+  application talks to) uses an edge relay as its upstream;
+* a :class:`~repro.core.recursive.MoqRecursiveResolver` lists another edge
+  relay as its MoQT root server.
+
+Because relays are payload-oblivious, neither endpoint can tell the
+difference: the SUBSCRIBE/FETCH for the question track is aggregated up
+the tree, the answer comes back out of the relay caches, and when the
+zone changes, the authoritative server pushes one object per direct child
+and the tree fans it out to every subscribed resolver.
+
+Run with:  python examples/dns_over_relay.py
+"""
+
+from __future__ import annotations
+
+from repro.core.auth_server import MoqAuthoritativeServer
+from repro.core.forwarder import MoqForwarder
+from repro.core.mapping import DnsQuestionKey
+from repro.core.recursive import MoqRecursiveResolver
+from repro.dns.name import Name
+from repro.dns.rdata import ARdata
+from repro.dns.rr import ResourceRecord, RRset
+from repro.dns.types import RecordType
+from repro.dns.zone import Zone
+from repro.netsim.link import LinkConfig
+from repro.netsim.network import Network
+from repro.netsim.simulator import Simulator
+from repro.relaynet import RelayNetStats, RelayTreeBuilder, RelayTreeSpec
+
+DOMAIN = "cdn.example."
+INITIAL_ADDRESS = "198.51.100.10"
+UPDATED_ADDRESS = "203.0.113.99"
+
+
+def answer_text(message) -> str:
+    """The A record(s) in a DNS response, as text."""
+    if message is None:
+        return "(no answer)"
+    return ", ".join(record.rdata.to_text() for record in message.answers)
+
+
+def main() -> None:
+    simulator = Simulator(seed=31)
+    network = Network(simulator)
+
+    # The authoritative DNS-over-MoQT server is the origin of the tree.  It
+    # serves the parent zone too, so the recursive resolver's delegation walk
+    # (example. NS, then cdn.example. A) stays entirely inside the tree.
+    auth_host = network.add_host("auth.cdn.example")
+    zone = Zone("cdn.example.")
+    zone.add(Name.from_text(DOMAIN), "A", INITIAL_ADDRESS, ttl=60, bump=False)
+    parent_zone = Zone("example.")
+    parent_zone.add(Name.from_text("example."), "NS", "ns.cdn.example.", ttl=3600, bump=False)
+    auth = MoqAuthoritativeServer(auth_host, [zone, parent_zone])
+
+    spec = RelayTreeSpec.cdn(mid_relays=2, edge_per_mid=2)
+    tree = RelayTreeBuilder(network, auth.address).build(spec)
+    edges = tree.tier("edge")
+
+    print("== DNS over relaynet: auth origin -> 2 mid -> 4 edge relays ==\n")
+
+    # A stub-side forwarder whose "recursive resolver" is edge-0.
+    stub_host = network.add_host("stub")
+    network.connect(stub_host, edges[0].host, LinkConfig(delay=0.005))
+    forwarder = MoqForwarder(stub_host, recursive_moqt_address=edges[0].address)
+
+    # A recursive resolver whose MoQT root server list names edge-1.
+    resolver_host = network.add_host("resolver")
+    network.connect(resolver_host, edges[1].host, LinkConfig(delay=0.005))
+    resolver = MoqRecursiveResolver(resolver_host, root_servers=[edges[1].address])
+
+    key = DnsQuestionKey(qname=Name.from_text(DOMAIN), qtype=RecordType.A)
+    results: dict[str, tuple[str, float]] = {}
+    start = simulator.now
+    forwarder.resolve(
+        key,
+        lambda message, version: results.__setitem__(
+            "forwarder via edge-0", (answer_text(message), simulator.now - start)
+        ),
+    )
+    resolver.resolve(
+        key,
+        lambda outcome: results.__setitem__(
+            "resolver via edge-1", (answer_text(outcome.message), simulator.now - start)
+        ),
+    )
+    simulator.run(until=simulator.now + 5.0)
+
+    for who, (answer, latency) in sorted(results.items()):
+        print(f"  {who}: {DOMAIN} A = {answer}  ({latency * 1000:.1f} ms)")
+    stats = RelayNetStats.collect(tree)
+    print(
+        f"  relay caches answered the joining FETCHes: "
+        f"hits={stats.cache_hits} misses={stats.cache_misses}"
+    )
+    print(
+        f"  the authoritative server saw {auth.statistics.sessions_accepted} sessions"
+        f" (mid tier only) and {auth.statistics.fetches_served} fetch(es)\n"
+    )
+
+    # Change the zone: the push fans out through the tree to both clients.
+    print(f"== Zone update: {DOMAIN} A -> {UPDATED_ADDRESS} ==\n")
+    push_times: dict[str, float] = {}
+    forwarder.on_record_updated.append(
+        lambda _key, record: push_times.__setitem__("forwarder via edge-0", simulator.now)
+    )
+    change_at = simulator.now
+    record = ResourceRecord(
+        Name.from_text(DOMAIN), RecordType.A, ARdata(UPDATED_ADDRESS), 60
+    )
+    zone.replace_rrset(RRset(Name.from_text(DOMAIN), RecordType.A, [record]))
+    simulator.run(until=simulator.now + 3.0)
+
+    for who, at in sorted(push_times.items()):
+        print(f"  push reached {who} after {(at - change_at) * 1000:.1f} ms")
+    entry = resolver.record(key)
+    if entry is not None:
+        print(f"  resolver record now: {answer_text(entry.message)} (version {entry.version})")
+    forwarder_record = forwarder.record(key)
+    if forwarder_record is not None:
+        print(
+            f"  forwarder record now: {answer_text(forwarder_record.message)}"
+            f" (version {forwarder_record.version})"
+        )
+    print(
+        f"\n  the origin pushed {auth.statistics.updates_published} object(s) for the change;"
+        f" the tree delivered it to every subscribed resolver"
+    )
+
+
+if __name__ == "__main__":
+    main()

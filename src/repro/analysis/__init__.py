@@ -16,7 +16,9 @@ with the corresponding model here, so discrepancies are caught by tests.
 * :mod:`repro.analysis.state_overhead` — per-endpoint state accounting for
   the §5.1 discussion;
 * :mod:`repro.analysis.fanout` — unicast vs. relay-tree per-tier update
-  traffic for the §3 fan-out argument.
+  traffic for the §3 fan-out argument;
+* :mod:`repro.analysis.churn` — re-attach latency and FETCH gap-recovery
+  bounds for relay failover under a live tree.
 """
 
 from repro.analysis.latency_model import (
@@ -56,6 +58,11 @@ from repro.analysis.fanout import (
     tier_ingress_messages,
     relative_deviation,
 )
+from repro.analysis.churn import (
+    RecoveryModel,
+    recovery_model,
+    expected_gap_objects,
+)
 
 __all__ = [
     "TransportScenario",
@@ -83,4 +90,7 @@ __all__ = [
     "unicast_origin_messages",
     "tier_ingress_messages",
     "relative_deviation",
+    "RecoveryModel",
+    "recovery_model",
+    "expected_gap_objects",
 ]

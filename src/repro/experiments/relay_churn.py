@@ -1,0 +1,261 @@
+"""E12 — relay churn: failover and gap recovery under a live CDN tree.
+
+E11 showed a *static* relay tree keeps origin egress at O(branching
+factor).  This experiment shows the tree survives what real CDNs are made
+of — relays crashing mid-stream — without breaking the subscriber-facing
+contract: every subscriber still observes every object exactly once, in
+order.
+
+The run builds the three-tier CDN hierarchy (origin -> mid -> edge ->
+subscribers), subscribes the whole population and pushes a stream of
+record updates.  Mid-stream it kills one *mid-tier* relay (orphaning a
+whole edge subtree) and, later, one *edge* relay (orphaning directly
+attached subscribers).  The topology layer re-homes every orphan through
+the failover policy; the MoQT layer re-subscribes live tracks through the
+new parent, fills the delivery gap with a FETCH against the new parent's
+cache, and dedupes by (group, object) ID.
+
+Measured per kill, and checked against :mod:`repro.analysis.churn`:
+
+* re-attach latency per orphan tier — three round trips on the orphan <->
+  new-parent link (QUIC handshake, MoQT SETUP, SUBSCRIBE), independent of
+  the subscriber count;
+* gapless delivery — after the final drain every subscriber's received
+  sequence is exactly ``2 .. updates+1``, duplicate-free and in publish
+  order, with the gap objects arriving via the recovery FETCH rather than
+  the (dead) old parent.
+
+Everything runs on the deterministic simulator: repeated runs with the
+same seed produce identical latencies and byte counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.churn import RecoveryModel, recovery_model
+from repro.experiments.relay_fanout import (
+    ORIGIN_HOST,
+    ORIGIN_PORT,
+    TRACK,
+    UPDATE_INTERVAL,
+    _update_payload,
+    build_origin,
+)
+from repro.moqt.objectmodel import MoqtObject
+from repro.netsim.network import Network
+from repro.netsim.packet import Address
+from repro.netsim.simulator import Simulator
+from repro.netsim.trace import NullTraceRecorder
+from repro.relaynet import FailoverEvent, RelayTreeBuilder, RelayTreeSpec
+from repro.relaynet.topology import FailoverPolicy
+
+
+@dataclass
+class KillSample:
+    """One relay kill: who died, who re-homed, and how fast."""
+
+    cause: str
+    killed: str
+    killed_tier: str
+    at: float
+    orphan_relays: int
+    orphan_subscribers: int
+    #: Measured re-attach latencies grouped by the orphan's tier.
+    latencies_by_tier: dict[str, list[float]]
+    #: Closed-form prediction per orphan tier (same grouping).
+    model_by_tier: dict[str, RecoveryModel]
+    complete: bool
+
+    def rows(self) -> list[dict[str, object]]:
+        """One row per orphan tier: measured vs. modelled re-attach latency."""
+        rows: list[dict[str, object]] = []
+        for tier, latencies in sorted(self.latencies_by_tier.items()):
+            model = self.model_by_tier.get(tier)
+            predicted = model.reattach_latency if model is not None else 0.0
+            mean = sum(latencies) / len(latencies) if latencies else 0.0
+            rows.append(
+                {
+                    "killed": f"{self.killed} ({self.cause})",
+                    "orphan_tier": tier,
+                    "orphans": len(latencies),
+                    "reattach_ms_mean": round(mean * 1000, 3),
+                    "reattach_ms_max": round(max(latencies) * 1000, 3) if latencies else 0.0,
+                    "model_ms": round(predicted * 1000, 3),
+                    "complete": self.complete,
+                }
+            )
+        return rows
+
+
+@dataclass
+class RelayChurnResult:
+    """Outcome of the churn experiment."""
+
+    subscribers: int
+    updates: int
+    kills: list[KillSample]
+    #: Subscribers whose delivered sequence is exactly the published one
+    #: (gapless, duplicate-free, in order).
+    gapless_subscribers: int
+    delivered_objects: int
+    expected_objects: int
+    #: Duplicates suppressed below the application: at re-homed relays and
+    #: at re-attached subscribers (the FETCH/live overlap).
+    relay_duplicates_dropped: int
+    subscriber_duplicates_dropped: int
+    recovery_fetches: int
+    recovered_objects: int
+    subscriber_gap_fetches: int
+    events: list[FailoverEvent] = field(default_factory=list)
+
+    @property
+    def gapless(self) -> bool:
+        """Whether every subscriber saw a perfect sequence."""
+        return self.gapless_subscribers == self.subscribers
+
+    def rows(self) -> list[dict[str, object]]:
+        """Per-kill, per-orphan-tier summary rows."""
+        return [row for kill in self.kills for row in kill.rows()]
+
+    def summary_row(self) -> dict[str, object]:
+        """Headline row for reports."""
+        return {
+            "subscribers": self.subscribers,
+            "updates": self.updates,
+            "kills": len(self.kills),
+            "delivered": self.delivered_objects,
+            "expected": self.expected_objects,
+            "gapless_subs": self.gapless_subscribers,
+            "dup_dropped": self.relay_duplicates_dropped + self.subscriber_duplicates_dropped,
+            "recovery_fetches": self.recovery_fetches + self.subscriber_gap_fetches,
+            "recovered_objects": self.recovered_objects,
+        }
+
+
+def _kill_sample(
+    event: FailoverEvent,
+    spec: RelayTreeSpec,
+    alpn_version_negotiation: bool,
+) -> KillSample:
+    """Pair a failover event's measurements with the model's predictions."""
+    model_by_tier: dict[str, RecoveryModel] = {}
+    for tier_spec in spec.tiers:
+        # Orphans of this tier re-home over their own uplink class.
+        model_by_tier[tier_spec.name] = recovery_model(
+            tier_spec.uplink.delay, alpn_version_negotiation
+        )
+    model_by_tier["subscribers"] = recovery_model(
+        spec.subscriber_link.delay, alpn_version_negotiation
+    )
+    return KillSample(
+        cause=event.cause,
+        killed=event.node,
+        killed_tier=event.tier,
+        at=event.at,
+        orphan_relays=len(event.orphans("relay")),
+        orphan_subscribers=len(event.orphans("subscriber")),
+        latencies_by_tier=event.latencies_by_tier(),
+        model_by_tier=model_by_tier,
+        complete=event.complete,
+    )
+
+
+def run_relay_churn(
+    subscribers: int = 1000,
+    mid_relays: int = 4,
+    edge_per_mid: int = 4,
+    updates_before: int = 4,
+    updates_between: int = 4,
+    updates_after: int = 4,
+    payload_size: int = 300,
+    seed: int = 23,
+    failover_policy: FailoverPolicy | None = None,
+    kill_edge: bool = True,
+) -> RelayChurnResult:
+    """Kill relays under a live CDN tree and measure the recovery.
+
+    The stream pushes ``updates_before`` objects, kills a mid-tier relay
+    (its whole edge subtree re-homes and gap-fills via FETCH), pushes
+    ``updates_between`` more, kills an edge relay (its subscribers
+    re-attach to surviving leaves), and pushes ``updates_after`` more.
+    Set ``kill_edge=False`` for the single mid-tier kill of the E12
+    acceptance run.
+    """
+    simulator = Simulator(seed=seed)
+    network = Network(simulator, trace=NullTraceRecorder(simulator))
+    publisher = build_origin(network)
+    spec = RelayTreeSpec.cdn(mid_relays=mid_relays, edge_per_mid=edge_per_mid)
+    builder = RelayTreeBuilder(
+        network, Address(ORIGIN_HOST, ORIGIN_PORT), failover_policy=failover_policy
+    )
+    tree = builder.build(spec)
+    tree.attach_subscribers(subscribers)
+    received: dict[int, list[int]] = {sub.index: [] for sub in tree.subscribers}
+    tree.subscribe_all(
+        TRACK, on_object=lambda sub, obj: received[sub.index].append(obj.group_id)
+    )
+    simulator.run(until=simulator.now + 3.0)
+
+    next_group = 2
+
+    def push(count: int) -> None:
+        nonlocal next_group
+        for _ in range(count):
+            publisher.push(
+                MoqtObject(
+                    group_id=next_group,
+                    object_id=0,
+                    payload=_update_payload(next_group, payload_size),
+                )
+            )
+            next_group += 1
+            simulator.run(until=simulator.now + UPDATE_INTERVAL)
+
+    events: list[FailoverEvent] = []
+    push(updates_before)
+    # Kill a mid-tier relay while an update is still in flight: its edge
+    # subtree must re-home and recover the missed objects via FETCH.
+    mid_victims = [node for node in tree.tier("mid") if node.alive]
+    events.append(tree.kill_relay(mid_victims[len(mid_victims) // 2]))
+    push(updates_between)
+    if kill_edge:
+        # Then kill an edge relay: its subscribers re-attach to surviving
+        # leaves and gap-fill from their caches.
+        edge_victims = [node for node in tree.tier("edge") if node.alive]
+        events.append(tree.kill_relay(edge_victims[0]))
+    push(updates_after)
+    simulator.run(until=simulator.now + 5.0)
+
+    updates = updates_before + updates_between + updates_after
+    expected_sequence = list(range(2, updates + 2))
+    gapless = sum(1 for groups in received.values() if groups == expected_sequence)
+    delivered = sum(len(groups) for groups in received.values())
+
+    alpn = tree.session_config.alpn_version_negotiation
+    kills = [_kill_sample(event, spec, alpn) for event in events]
+    relay_duplicates = sum(
+        node.relay.statistics.duplicate_objects_dropped for node in tree.nodes()
+    )
+    recovery_fetches = sum(
+        node.relay.statistics.recovery_fetches for node in tree.nodes()
+    )
+    recovered_objects = sum(
+        node.relay.statistics.recovered_objects for node in tree.nodes()
+    )
+    subscriber_duplicates = sum(sub.duplicates_dropped for sub in tree.subscribers)
+    gap_fetches = sum(sub.gap_fetches for sub in tree.subscribers)
+    return RelayChurnResult(
+        subscribers=subscribers,
+        updates=updates,
+        kills=kills,
+        gapless_subscribers=gapless,
+        delivered_objects=delivered,
+        expected_objects=subscribers * updates,
+        relay_duplicates_dropped=relay_duplicates,
+        subscriber_duplicates_dropped=subscriber_duplicates,
+        recovery_fetches=recovery_fetches,
+        recovered_objects=recovered_objects,
+        subscriber_gap_fetches=gap_fetches,
+        events=events,
+    )

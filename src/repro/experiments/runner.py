@@ -16,6 +16,7 @@ from repro.experiments.fig1a import run_fig1a
 from repro.experiments.fig1b import run_fig1b
 from repro.experiments.fig2_sequence import run_fig2
 from repro.experiments.query_latency import run_query_latency
+from repro.experiments.relay_churn import run_relay_churn
 from repro.experiments.relay_fanout import run_relay_fanout
 from repro.experiments.report import format_table
 from repro.experiments.staleness import run_staleness
@@ -96,6 +97,21 @@ def run_all(fast: bool = True) -> list[ExperimentReport]:
     reports.append(
         ExperimentReport("E11", "§3/§5.3 — relay fan-out: origin egress vs subscribers",
                          format_table(fanout.rows()), fanout)
+    )
+    churn = run_relay_churn(
+        subscribers=60 if fast else 1000,
+        mid_relays=2 if fast else 4,
+        edge_per_mid=2 if fast else 4,
+        updates_before=2 if fast else 4,
+        updates_between=2 if fast else 4,
+        updates_after=2 if fast else 4,
+    )
+    churn_table = "\n\n".join(
+        [format_table(churn.rows()), format_table([churn.summary_row()])]
+    )
+    reports.append(
+        ExperimentReport("E12", "§3/§5.3 — relay churn: failover and FETCH gap recovery",
+                         churn_table, churn)
     )
     return reports
 

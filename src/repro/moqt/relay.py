@@ -51,6 +51,66 @@ from repro.quic.tls import ServerTlsContext
 MOQT_ALPN = "moq-00"
 DEFAULT_MOQT_PORT = 4443
 
+#: FETCH range end meaning "everything the cache has" (a group id far beyond
+#: any experiment's horizon; ranges are inclusive).
+OPEN_RANGE_END = Location(1 << 40, 0)
+
+#: Dedupe sets are pruned once they exceed this size; locations older than
+#: the group horizon go first, newest-first truncation caps the rest.
+DEDUPE_PRUNE_THRESHOLD = 4096
+DEDUPE_GROUP_HORIZON = 64
+
+
+def prune_seen_locations(seen: set[Location], largest: Location) -> set[Location]:
+    """Shrink a delivered-locations dedupe set to a bounded window.
+
+    Drops locations older than :data:`DEDUPE_GROUP_HORIZON` groups behind
+    ``largest``; if everything is recent (many objects per group), keeps the
+    newest half of :data:`DEDUPE_PRUNE_THRESHOLD` so the set stays bounded
+    and pruning does not re-trigger on every insert.
+    """
+    horizon = largest.group_id - DEDUPE_GROUP_HORIZON
+    pruned = {location for location in seen if location.group_id >= horizon}
+    if len(pruned) > DEDUPE_PRUNE_THRESHOLD:
+        pruned = set(sorted(pruned)[-DEDUPE_PRUNE_THRESHOLD // 2 :])
+    return pruned
+
+
+class RecoveryBuffer:
+    """Holds live objects back while a gap FETCH is outstanding.
+
+    One instance per recovering receiver: the relay's upstream-switch
+    recovery (per :class:`RelayTrack`) and the subscriber's re-attach
+    recovery (:mod:`repro.relaynet.topology`) share this class so the
+    buffer-until-gap-delivered semantics cannot diverge between the two
+    layers.  ``release`` always disarms, delivers in location order, and is
+    safe to call on an idle buffer.
+    """
+
+    __slots__ = ("active", "buffered")
+
+    def __init__(self) -> None:
+        self.active = False
+        self.buffered: list[MoqtObject] = []
+
+    def arm(self) -> None:
+        """Start intercepting live objects until :meth:`release`."""
+        self.active = True
+
+    def intercept(self, obj: MoqtObject) -> bool:
+        """Buffer ``obj`` when armed; False means deliver it normally."""
+        if not self.active:
+            return False
+        self.buffered.append(obj)
+        return True
+
+    def release(self, deliver: Callable[[MoqtObject], None]) -> None:
+        """Disarm and hand the buffered objects to ``deliver`` in order."""
+        self.active = False
+        buffered, self.buffered = self.buffered, []
+        for obj in sorted(buffered, key=lambda o: o.location):
+            deliver(obj)
+
 
 @dataclass
 class _DownstreamSubscriber:
@@ -72,6 +132,18 @@ class RelayTrack:
     #: share the upstream subscription's outcome.
     awaiting_upstream: list[_DownstreamSubscriber] = field(default_factory=list)
     objects_forwarded: int = 0
+    #: Locations already forwarded downstream.  After an upstream switch the
+    #: new parent re-sends objects the old parent already delivered; this set
+    #: is what keeps re-parenting duplicate-free without touching the wire
+    #: format (dedupe is receive-side only).
+    forwarded: set[Location] = field(default_factory=set)
+    #: Largest location ever forwarded downstream — the resume point a
+    #: post-switch recovery FETCH starts from.
+    largest_forwarded: Location | None = None
+    #: While a recovery FETCH against the new parent is outstanding, live
+    #: objects are buffered here so the gap is delivered first and the
+    #: downstream object order survives the switch.
+    recovery: RecoveryBuffer = field(default_factory=RecoveryBuffer)
 
 
 @dataclass
@@ -87,6 +159,10 @@ class RelayStatistics:
     objects_forwarded: int = 0
     fetches_served_from_cache: int = 0
     fetches_forwarded_upstream: int = 0
+    upstream_switches: int = 0
+    duplicate_objects_dropped: int = 0
+    recovery_fetches: int = 0
+    recovered_objects: int = 0
 
 
 class MoqtRelay:
@@ -189,6 +265,11 @@ class MoqtRelay:
         downstream SUBSCRIBE would be deferred into ``awaiting_upstream`` with
         no answer, and recovery could never start.  Clearing the state errors
         the waiters and lets the next subscriber retry over a fresh session.
+
+        FETCHes forwarded over the dying session need no handling here: the
+        session fails its own pending fetch requests when it closes, which
+        fires their ``on_complete`` error paths and answers the downstream
+        FETCH with a FETCH_ERROR (so waiters unblock instead of hanging).
         """
         if session is not self._upstream_session:
             return
@@ -198,6 +279,7 @@ class MoqtRelay:
             reason=f"upstream session closed: {reason}" if reason else "upstream session closed",
         )
         for track in self._tracks.values():
+            self._flush_recovery(track)
             if track.upstream_subscription is None:
                 continue
             track.upstream_subscription = None
@@ -209,6 +291,153 @@ class MoqtRelay:
                 if waiter.session.closed:
                     continue
                 waiter.session.complete_subscribe(waiter.request_id, result)
+
+    # ------------------------------------------------------------ live failover
+    def switch_upstream(
+        self,
+        new_upstream: Address,
+        recover: bool = True,
+        on_track_reattached: Callable[[RelayTrack], None] | None = None,
+    ) -> None:
+        """Re-point the relay's uplink at a new parent on live tracks.
+
+        Established downstream subscribers keep their sessions and
+        subscriptions; every track that still has (or awaits) downstream
+        interest is re-subscribed through the new parent.  With ``recover``
+        the gap between the last object forwarded downstream and the first
+        live object from the new parent is filled with a FETCH against the
+        new parent's cache (forwarded further upstream on a cold cache), and
+        live objects are buffered until the fetch answer has been delivered
+        so the downstream object order survives the switch.  Objects the old
+        parent already delivered are deduplicated by (group, object) ID.
+
+        ``on_track_reattached`` fires once per re-subscribed track when the
+        new parent accepts the subscription — topology controllers use it to
+        measure re-attach latency.
+        """
+        old_session = self._upstream_session
+        self._upstream_session = None
+        self.upstream_address = new_upstream
+        self.statistics.upstream_switches += 1
+        if old_session is not None and not old_session.closed:
+            # Close the old uplink *before* re-subscribing: failing its
+            # pending fetches now (including a stale recovery FETCH from an
+            # earlier switch) cannot clobber the recovery state the new
+            # subscriptions are about to arm.
+            old_session.close("switching upstream")
+        for track in self._tracks.values():
+            if not (track.downstream or track.awaiting_upstream):
+                track.upstream_subscription = None
+                self._flush_recovery(track)
+                continue
+            self._resubscribe_track(track, recover=recover, on_reattached=on_track_reattached)
+
+    def _resubscribe_track(
+        self,
+        track: RelayTrack,
+        recover: bool,
+        on_reattached: Callable[[RelayTrack], None] | None = None,
+    ) -> None:
+        old_subscription = track.upstream_subscription
+        upstream = self._ensure_upstream_session()
+        self.statistics.upstream_subscribes += 1
+        resume_from = self._resume_point(track, old_subscription) if recover else None
+        if resume_from is not None:
+            track.recovery.arm()
+        else:
+            # No gap to fetch (nothing delivered and no known live position,
+            # or recovery disabled): a buffer armed by an earlier switch must
+            # not stay armed — no FETCH will ever release it.
+            self._flush_recovery(track)
+        track.upstream_subscription = upstream.subscribe(
+            track.full_track_name,
+            on_object=lambda obj, t=track: self._on_upstream_object(t, obj),
+            on_response=lambda subscription, t=track: self._on_switch_response(
+                t, subscription, resume_from, on_reattached
+            ),
+        )
+
+    @staticmethod
+    def _resume_point(track: RelayTrack, old_subscription: Subscription | None) -> Location | None:
+        """Where the post-switch recovery FETCH should start.
+
+        Prefer the last location actually forwarded downstream — the FETCH
+        range is inclusive, and the duplicate filter drops the boundary
+        object.  A track that never forwarded anything falls back to the
+        old subscription's live position (the largest the old parent
+        advertised or delivered): anything *after* it is gap, anything at
+        or before it is pre-join history that must not be replayed, so the
+        resume point moves one object past it.
+        """
+        if track.largest_forwarded is not None:
+            return track.largest_forwarded
+        if old_subscription is not None and old_subscription.largest is not None:
+            previous = old_subscription.largest
+            return Location(previous.group_id, previous.object_id + 1)
+        return None
+
+    def _on_switch_response(
+        self,
+        track: RelayTrack,
+        subscription: Subscription,
+        resume_from: Location | None,
+        on_reattached: Callable[[RelayTrack], None] | None,
+    ) -> None:
+        current = track.upstream_subscription is subscription
+        self._on_upstream_response(track, subscription)
+        if not current:
+            return
+        if not subscription.is_active:
+            self._flush_recovery(track)
+            return
+        if on_reattached is not None:
+            on_reattached(track)
+        if resume_from is None or not track.recovery.active:
+            return
+        # Fill the gap between the last forwarded object and the live stream
+        # from the new parent's cache.  The resume point itself rides along
+        # (ranges are inclusive) and is dropped by the duplicate filter.
+        self.statistics.recovery_fetches += 1
+        upstream = self._ensure_upstream_session()
+        upstream.fetch(
+            track.full_track_name,
+            resume_from,
+            OPEN_RANGE_END,
+            on_complete=lambda fetch_request, t=track, s=upstream: self._on_recovery_fetched(
+                t, fetch_request, s
+            ),
+        )
+
+    def _on_recovery_fetched(self, track: RelayTrack, fetch_request, session: MoqtSession) -> None:
+        if session is not self._upstream_session:
+            # A newer switch owns the recovery buffer: this completion (most
+            # likely the old session failing its fetches on close) must not
+            # release it — the new parent's gap FETCH will.
+            return
+        if fetch_request.succeeded:
+            for obj in sorted(fetch_request.objects, key=lambda o: o.location):
+                if obj.location not in track.forwarded:
+                    self.statistics.recovered_objects += 1
+                self._deliver_upstream_object(track, obj)
+        # Success or not, release the buffered live stream; on failure the
+        # gap stays lost but delivery resumes (availability over completeness).
+        self._flush_recovery(track)
+
+    def _flush_recovery(self, track: RelayTrack) -> None:
+        track.recovery.release(lambda obj: self._deliver_upstream_object(track, obj))
+
+    def shutdown(self, reason: str = "relay shutting down") -> None:
+        """Close every session and release the relay's ports.
+
+        Used by :class:`repro.relaynet.RelayTopology` both for graceful
+        leaves and (with an appropriate ``reason``) to simulate a crash:
+        downstream sessions observe the close and the topology re-homes the
+        orphaned subtree.
+        """
+        if self._upstream_session is not None and not self._upstream_session.closed:
+            self._upstream_session.close(reason)
+        self._server_endpoint.close()
+        self._client_endpoint.close()
 
     def _track_for(self, full_track_name: FullTrackName) -> RelayTrack:
         track = self._tracks.get(full_track_name)
@@ -335,8 +564,35 @@ class MoqtRelay:
 
     def _on_upstream_object(self, track: RelayTrack, obj: MoqtObject) -> None:
         self.statistics.objects_received += 1
+        # While a recovery FETCH is outstanding, hold live objects back so
+        # the gap is delivered first and downstream order survives the switch.
+        if track.recovery.intercept(obj):
+            return
+        self._deliver_upstream_object(track, obj)
+
+    def _deliver_upstream_object(self, track: RelayTrack, obj: MoqtObject) -> None:
+        """Cache and forward one upstream object, dropping duplicates.
+
+        After an upstream switch the new parent's live stream and the
+        recovery FETCH both re-cover territory the old parent already
+        delivered; anything already forwarded downstream is dropped here so
+        subscribers see every (group, object) ID exactly once.
+        """
+        if obj.location in track.forwarded:
+            self.statistics.duplicate_objects_dropped += 1
+            return
         track.cache.publish(obj)
+        self._record_forwarded(track, obj.location)
         self._forward_to_downstream(track, obj)
+
+    def _record_forwarded(self, track: RelayTrack, location: Location) -> None:
+        track.forwarded.add(location)
+        if track.largest_forwarded is None or location > track.largest_forwarded:
+            track.largest_forwarded = location
+        if len(track.forwarded) > DEDUPE_PRUNE_THRESHOLD:
+            # Keep the dedupe window bounded so long-lived tracks do not
+            # accumulate unbounded state (§5.1).
+            track.forwarded = prune_seen_locations(track.forwarded, track.largest_forwarded)
 
     def _forward_to_downstream(self, track: RelayTrack, obj: MoqtObject) -> None:
         # Encode-once fan-out: the object body does not depend on the
@@ -411,7 +667,7 @@ class MoqtRelay:
         if message.fetch_type != FetchType.STANDALONE or end == Location(0, 0):
             # Joining fetches (or open ranges) map onto "everything so far".
             start = Location(0, 0)
-            end = Location((1 << 40), 0)
+            end = OPEN_RANGE_END
         upstream.fetch(full_track_name, start, end, on_complete=on_complete)
         return None
 

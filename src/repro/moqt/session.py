@@ -511,6 +511,7 @@ class MoqtSession:
         self.closed = True
         if not self.connection.closed:
             self.connection.close(reason=reason)
+        self._fail_pending_fetches(reason)
         if self.on_closed is not None:
             self.on_closed(self, reason)
 
@@ -518,8 +519,32 @@ class MoqtSession:
         if self.closed:
             return
         self.closed = True
+        self._fail_pending_fetches(reason)
         if self.on_closed is not None:
             self.on_closed(self, reason)
+
+    def _fail_pending_fetches(self, reason: str) -> None:
+        """Error every fetch still in flight when the session dies.
+
+        A fetch whose transport is gone can never complete, so callers
+        waiting on ``on_complete`` — a relay that forwarded a downstream
+        FETCH over this (upstream) session, the forwarder's lookup path —
+        would otherwise hang forever.  Failing them here turns a dead
+        session into an ordinary fetch error the existing error paths
+        already handle.
+        """
+        pending = [
+            fetch for fetch in self._fetches.values() if fetch.state in ("pending", "ok")
+        ]
+        self._fetches.clear()
+        message = f"session closed: {reason}" if reason else "session closed"
+        for fetch_request in pending:
+            fetch_request.state = "error"
+            fetch_request.responded_at = self._simulator.now
+            fetch_request.error_code = int(FetchErrorCode.INTERNAL_ERROR)
+            fetch_request.error_reason = message
+            if fetch_request.on_complete is not None:
+                fetch_request.on_complete(fetch_request)
 
     # --------------------------------------------------------------- dispatch
     def _on_stream_data(self, stream_id: int, data: bytes, fin: bool) -> None:
@@ -663,7 +688,7 @@ class MoqtSession:
         accepted, so the caller can start publishing to it.
         """
         message = self._pending_incoming_subscribes.pop(request_id, None)
-        if message is None:
+        if message is None or self.closed:
             return None
         if not result.ok:
             self._send_control(
@@ -735,7 +760,7 @@ class MoqtSession:
     def complete_fetch(self, request_id: int, result: FetchResult) -> None:
         """Answer a (possibly deferred) incoming FETCH."""
         message = self._pending_incoming_fetches.pop(request_id, None)
-        if message is None:
+        if message is None or self.closed:
             return
         if not result.ok:
             self._send_control(

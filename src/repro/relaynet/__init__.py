@@ -10,22 +10,38 @@ turns that argument into an executable subsystem:
 * :mod:`repro.relaynet.spec` — declarative tree shapes
   (:class:`RelayTreeSpec`): star, balanced k-ary, and the CDN
   origin/mid/edge hierarchy, each tier with its own link configuration;
-* :mod:`repro.relaynet.builder` — :class:`RelayTreeBuilder` instantiates a
-  spec on a :class:`~repro.netsim.network.Network`, wiring one
-  :class:`~repro.moqt.relay.MoqtRelay` per node to its parent, and
-  :class:`RelayTree` attaches subscriber sessions round-robin below the edge
-  tier;
+* :mod:`repro.relaynet.topology` — :class:`RelayTopology`, the live
+  membership registry: dynamic join/leave (`add_relay`/`remove_relay`),
+  crash failover (`kill_relay`) with pluggable policies
+  (:class:`SiblingFailover`, :class:`GrandparentFailover`), load-aware
+  subscriber placement, and FETCH-based gap recovery so established
+  subscriptions survive churn without duplicates or gaps;
+* :mod:`repro.relaynet.builder` — :class:`RelayTreeBuilder` and
+  :class:`RelayTree`, thin construction fronts instantiating a spec on a
+  :class:`~repro.netsim.network.Network` (one
+  :class:`~repro.moqt.relay.MoqtRelay` per node, wired to its parent) and
+  attaching subscriber sessions below the edge tier;
 * :mod:`repro.relaynet.stats` — :class:`RelayNetStats` snapshots per-tier
   relay counters, cache hit/miss totals and uplink bytes, with snapshot
   deltas to isolate measurement windows.
 
-The matching analytical model lives in :mod:`repro.analysis.fanout` and the
-measured-vs-model experiment in :mod:`repro.experiments.relay_fanout`.
+The matching analytical models live in :mod:`repro.analysis.fanout`
+(static fan-out) and :mod:`repro.analysis.churn` (failover recovery); the
+measured-vs-model experiments are :mod:`repro.experiments.relay_fanout`
+(E11) and :mod:`repro.experiments.relay_churn` (E12).
 """
 
 from repro.relaynet.spec import RelayTierSpec, RelayTreeSpec
 from repro.relaynet.builder import RelayNode, RelayTree, RelayTreeBuilder, TreeSubscriber
 from repro.relaynet.stats import RelayNetStats, TierStats
+from repro.relaynet.topology import (
+    FailoverEvent,
+    FailoverPolicy,
+    FailoverRecord,
+    GrandparentFailover,
+    RelayTopology,
+    SiblingFailover,
+)
 
 __all__ = [
     "RelayTierSpec",
@@ -36,4 +52,10 @@ __all__ = [
     "TreeSubscriber",
     "RelayNetStats",
     "TierStats",
+    "RelayTopology",
+    "FailoverPolicy",
+    "FailoverEvent",
+    "FailoverRecord",
+    "SiblingFailover",
+    "GrandparentFailover",
 ]

@@ -1,105 +1,107 @@
-"""Instantiating relay hierarchies on the simulated network.
+"""Thin construction fronts over the live relay topology.
 
-The :class:`RelayTreeBuilder` turns a declarative
-:class:`~repro.relaynet.spec.RelayTreeSpec` into a live :class:`RelayTree`:
-one host and one :class:`~repro.moqt.relay.MoqtRelay` per node, each wired to
-its parent with the tier's uplink configuration.  Tier 0 relays subscribe at
-the origin publisher; deeper tiers subscribe through the tier above them, so
-one origin push reaches every subscriber through payload-oblivious fan-out
-(§3 of the paper) while the origin only ever serves its direct children.
+Since the livetree refactor the tree's structure — tiers, parents,
+subscriber placement, join/leave/failover — lives in
+:class:`~repro.relaynet.topology.RelayTopology`.  This module keeps the
+original PR 1 construction API:
 
-Subscribers — plain MoQT client sessions — attach below the leaf tier with
-:meth:`RelayTree.attach_subscribers`, distributed round-robin so load spreads
-evenly across edge relays.
+* :class:`RelayTreeBuilder` turns a declarative
+  :class:`~repro.relaynet.spec.RelayTreeSpec` into a live tree on a
+  simulated network (one host and one
+  :class:`~repro.moqt.relay.MoqtRelay` per node, each wired to its parent
+  with the tier's uplink configuration);
+* :class:`RelayTree` wraps the topology with the accessors the
+  experiments, benchmarks and statistics use, and forwards membership
+  operations (``add_relay`` / ``remove_relay`` / ``kill_relay``) to it.
+
+Tier 0 relays subscribe at the origin publisher; deeper tiers subscribe
+through the tier above them, so one origin push reaches every subscriber
+through payload-oblivious fan-out (§3 of the paper) while the origin only
+ever serves its direct children.  Subscribers attach below the leaf tier
+with :meth:`RelayTree.attach_subscribers`, placed on the least-loaded
+alive leaf (identical to the historical round-robin while no relay has
+died, so seeded static runs keep their exact wire trace).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable
 
 from repro.moqt.objectmodel import MoqtObject
-from repro.moqt.relay import DEFAULT_MOQT_PORT, MOQT_ALPN, MoqtRelay
-from repro.moqt.session import MoqtSession, MoqtSessionConfig, Subscription
+from repro.moqt.relay import DEFAULT_MOQT_PORT
+from repro.moqt.session import MoqtSessionConfig, Subscription
 from repro.moqt.track import FullTrackName
 from repro.netsim.network import Network
-from repro.netsim.node import Host
 from repro.netsim.packet import Address
-from repro.quic.connection import ConnectionConfig
-from repro.quic.endpoint import QuicEndpoint
 from repro.relaynet.spec import RelayTreeSpec
+from repro.relaynet.topology import (
+    FailoverEvent,
+    FailoverPolicy,
+    RelayNode,
+    RelayTopology,
+    TreeSubscriber,
+)
 
-
-@dataclass
-class RelayNode:
-    """One relay in a built tree."""
-
-    tier_index: int
-    tier_name: str
-    index: int
-    host: Host
-    relay: MoqtRelay
-    parent: "RelayNode | None"
-
-    @property
-    def address(self) -> Address:
-        """Address downstream sessions (children or subscribers) connect to."""
-        return self.relay.address
-
-    @property
-    def upstream_host(self) -> str:
-        """Host address of the node's parent (origin for tier 0)."""
-        return self.relay.upstream_address.host
-
-
-@dataclass
-class TreeSubscriber:
-    """A leaf MoQT client attached below an edge relay."""
-
-    index: int
-    host: Host
-    session: MoqtSession
-    leaf: RelayNode
+__all__ = [
+    "RelayNode",
+    "RelayTree",
+    "RelayTreeBuilder",
+    "TreeSubscriber",
+]
 
 
 class RelayTree:
-    """A built relay hierarchy plus the subscribers attached to it."""
+    """A built relay hierarchy plus the subscribers attached to it.
 
-    def __init__(
-        self,
-        spec: RelayTreeSpec,
-        network: Network,
-        origin: Address,
-        tiers: list[list[RelayNode]],
-        session_config: MoqtSessionConfig,
-    ) -> None:
-        self.spec = spec
-        self.network = network
-        self.origin = origin
-        self.tiers = tiers
-        self.session_config = session_config
-        self.subscribers: list[TreeSubscriber] = []
+    A thin view over :class:`~repro.relaynet.topology.RelayTopology`: all
+    structure and membership state lives there (``tree.topology`` exposes
+    it directly for churn experiments)."""
+
+    def __init__(self, topology: RelayTopology) -> None:
+        self.topology = topology
+
+    # ------------------------------------------------------------ delegation
+    @property
+    def spec(self) -> RelayTreeSpec:
+        return self.topology.spec
+
+    @property
+    def network(self) -> Network:
+        return self.topology.network
+
+    @property
+    def origin(self) -> Address:
+        return self.topology.origin
+
+    @property
+    def session_config(self) -> MoqtSessionConfig:
+        return self.topology.session_config
+
+    @property
+    def tiers(self) -> list[list[RelayNode]]:
+        return self.topology.tiers
+
+    @property
+    def subscribers(self) -> list[TreeSubscriber]:
+        return self.topology.subscribers
 
     # ------------------------------------------------------------- structure
     def nodes(self) -> list[RelayNode]:
         """Every relay node, top tier first."""
-        return [node for tier in self.tiers for node in tier]
+        return self.topology.nodes()
 
     def leaves(self) -> list[RelayNode]:
         """The relays subscribers attach to (the last tier)."""
-        return list(self.tiers[-1])
+        return self.topology.leaves()
 
     def tier(self, name: str) -> list[RelayNode]:
         """All nodes of the tier with the given name."""
-        for tier_spec, nodes in zip(self.spec.tiers, self.tiers):
-            if tier_spec.name == name:
-                return list(nodes)
-        raise KeyError(f"no tier named {name!r}")
+        return self.topology.tier(name)
 
     @property
     def relay_count(self) -> int:
         """Total number of relays in the tree."""
-        return sum(len(tier) for tier in self.tiers)
+        return self.topology.relay_count
 
     # ----------------------------------------------------------- subscribers
     def attach_subscribers(
@@ -108,29 +110,8 @@ class RelayTree:
         session_config: MoqtSessionConfig | None = None,
         host_prefix: str = "sub",
     ) -> list[TreeSubscriber]:
-        """Create ``count`` subscriber hosts below the leaf tier.
-
-        Subscribers are assigned to leaf relays round-robin and each opens an
-        MoQT session to its relay immediately.  Call repeatedly to grow the
-        population; host names continue from the current subscriber count.
-        """
-        leaves = self.leaves()
-        config = session_config if session_config is not None else self.session_config
-        created: list[TreeSubscriber] = []
-        start = len(self.subscribers)
-        for offset in range(count):
-            index = start + offset
-            leaf = leaves[index % len(leaves)]
-            host = self.network.add_host(f"{host_prefix}-{index}")
-            self.network.connect(leaf.host, host, self.spec.subscriber_link)
-            endpoint = QuicEndpoint(host)
-            connection = endpoint.connect(
-                leaf.address, ConnectionConfig(alpn_protocols=(MOQT_ALPN,))
-            )
-            session = MoqtSession(connection, is_client=True, config=config)
-            created.append(TreeSubscriber(index=index, host=host, session=session, leaf=leaf))
-        self.subscribers.extend(created)
-        return created
+        """Create ``count`` subscriber hosts below the leaf tier."""
+        return self.topology.attach_subscribers(count, session_config, host_prefix)
 
     def subscribe_all(
         self,
@@ -139,14 +120,20 @@ class RelayTree:
         subscribers: list[TreeSubscriber] | None = None,
     ) -> list[Subscription]:
         """Subscribe every (given or attached) subscriber to one track."""
-        targets = subscribers if subscribers is not None else self.subscribers
-        subscriptions: list[Subscription] = []
-        for subscriber in targets:
-            callback = None
-            if on_object is not None:
-                callback = lambda obj, sub=subscriber: on_object(sub, obj)
-            subscriptions.append(subscriber.session.subscribe(full_track_name, on_object=callback))
-        return subscriptions
+        return self.topology.subscribe_all(full_track_name, on_object, subscribers)
+
+    # ------------------------------------------------------------ membership
+    def add_relay(self, tier: str | int, parent: RelayNode | None = None) -> RelayNode:
+        """Grow a tier by one relay while the tree runs."""
+        return self.topology.add_relay(tier, parent)
+
+    def remove_relay(self, node: RelayNode, reason: str = "relay leaving") -> FailoverEvent:
+        """Gracefully drain a relay out of the tree."""
+        return self.topology.remove_relay(node, reason)
+
+    def kill_relay(self, node: RelayNode, reason: str = "relay crashed") -> FailoverEvent:
+        """Crash a relay mid-stream and fail its subtree over."""
+        return self.topology.kill_relay(node, reason)
 
 
 class RelayTreeBuilder:
@@ -164,6 +151,9 @@ class RelayTreeBuilder:
         subscribers attached later).
     port:
         Port every relay accepts downstream sessions on.
+    failover_policy:
+        How orphans pick a new parent when a relay dies
+        (:class:`~repro.relaynet.topology.SiblingFailover` by default).
     """
 
     def __init__(
@@ -172,49 +162,25 @@ class RelayTreeBuilder:
         origin: Address,
         session_config: MoqtSessionConfig | None = None,
         port: int = DEFAULT_MOQT_PORT,
+        failover_policy: FailoverPolicy | None = None,
     ) -> None:
         self.network = network
         self.origin = origin
         self.session_config = session_config if session_config is not None else MoqtSessionConfig()
         self.port = port
+        self.failover_policy = failover_policy
         # Fail fast if the origin host is missing rather than at first subscribe.
         network.host(origin.host)
 
     def build(self, spec: RelayTreeSpec) -> RelayTree:
         """Create hosts, links and relays for every tier of ``spec``."""
-        tiers: list[list[RelayNode]] = []
-        for tier_index, tier_spec in enumerate(spec.tiers):
-            hosts = self.network.add_hosts(
-                f"{spec.host_prefix}-{tier_spec.name}", tier_spec.relays
+        return RelayTree(
+            RelayTopology(
+                network=self.network,
+                origin=self.origin,
+                spec=spec,
+                session_config=self.session_config,
+                port=self.port,
+                failover_policy=self.failover_policy,
             )
-            if tier_index == 0:
-                # The whole top tier hangs off the origin: a star.
-                self.network.connect_star(self.origin.host, hosts, tier_spec.uplink)
-            nodes: list[RelayNode] = []
-            for index, host in enumerate(hosts):
-                if tier_index == 0:
-                    parent = None
-                    upstream = self.origin
-                else:
-                    parent = tiers[tier_index - 1][index % len(tiers[tier_index - 1])]
-                    upstream = parent.address
-                    self.network.connect(parent.host, host, tier_spec.uplink)
-                relay = MoqtRelay(
-                    host,
-                    upstream=upstream,
-                    port=self.port,
-                    session_config=self.session_config,
-                    tier=tier_spec.name,
-                )
-                nodes.append(
-                    RelayNode(
-                        tier_index=tier_index,
-                        tier_name=tier_spec.name,
-                        index=index,
-                        host=host,
-                        relay=relay,
-                        parent=parent,
-                    )
-                )
-            tiers.append(nodes)
-        return RelayTree(spec, self.network, self.origin, tiers, self.session_config)
+        )

@@ -1,0 +1,748 @@
+"""Live relay topology: membership, failover and load-aware placement.
+
+PR 1 built relay trees once and never touched them again; real CDN edges
+join, leave and crash mid-stream.  :class:`RelayTopology` is the membership
+registry a running tree lives in:
+
+* :meth:`RelayTopology.add_relay` grows a tier while traffic flows — the new
+  relay attaches below the least-loaded parent and starts aggregating as
+  soon as its first subscriber arrives;
+* :meth:`RelayTopology.remove_relay` drains a relay gracefully: its subtree
+  is re-homed first (children switch their uplink, subscribers re-attach),
+  then the relay shuts down;
+* :meth:`RelayTopology.kill_relay` simulates a crash: the relay vanishes,
+  and the topology re-homes every orphan through a pluggable
+  :class:`FailoverPolicy` — the least-loaded *sibling* of the dead relay by
+  default, its *grandparent* (or the origin) when no sibling survives.
+
+Re-homed relays keep their established downstream subscriptions: the MoQT
+layer (:meth:`repro.moqt.relay.MoqtRelay.switch_upstream`) re-subscribes
+each live track through the new parent, fills the gap between the last
+delivered and the first live object with a FETCH against the new parent's
+cache, and deduplicates by (group, object) ID so subscribers observe a
+gapless, duplicate-free sequence across the failure.  Orphaned subscribers
+get the same treatment one layer down: a fresh session to the least-loaded
+surviving leaf, a re-subscribe, and a gap FETCH.
+
+Subscriber placement is load-aware: :meth:`RelayTopology.attach_subscribers`
+assigns each new subscriber to the least-loaded alive leaf (ties broken by
+relay age), which degenerates to PR 1's round-robin while all leaves live —
+the static-tree wire trace is unchanged — but steers load away from hot or
+dying edges the moment the tree stops being static.
+
+Every failover produces a :class:`FailoverEvent` whose per-orphan
+:class:`FailoverRecord` timestamps measure re-attach latency; the E12 churn
+experiment (:mod:`repro.experiments.relay_churn`) reports them per tier and
+checks them against the closed-form model in :mod:`repro.analysis.churn`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.moqt.objectmodel import Location, MoqtObject
+from repro.moqt.relay import (
+    DEDUPE_PRUNE_THRESHOLD,
+    DEFAULT_MOQT_PORT,
+    MOQT_ALPN,
+    OPEN_RANGE_END,
+    MoqtRelay,
+    RecoveryBuffer,
+    prune_seen_locations,
+)
+from repro.moqt.session import MoqtSession, MoqtSessionConfig, Subscription
+from repro.moqt.track import FullTrackName
+from repro.netsim.network import Network
+from repro.netsim.node import Host
+from repro.netsim.packet import Address
+from repro.quic.connection import ConnectionConfig
+from repro.quic.endpoint import QuicEndpoint
+from repro.relaynet.spec import RelayTreeSpec
+
+
+@dataclass(eq=False)
+class RelayNode:
+    """One relay in a live topology."""
+
+    tier_index: int
+    tier_name: str
+    index: int
+    host: Host
+    relay: MoqtRelay
+    parent: "RelayNode | None"
+    #: False once the relay has left (gracefully or by crash); dead nodes
+    #: stay listed so indices and history remain stable, but they are never
+    #: chosen as parents or leaves again.
+    alive: bool = True
+    #: Direct downstream attachments (child relays + subscribers) — the
+    #: quantity load-aware placement minimises.
+    load: int = 0
+
+    @property
+    def address(self) -> Address:
+        """Address downstream sessions (children or subscribers) connect to."""
+        return self.relay.address
+
+    @property
+    def upstream_host(self) -> str:
+        """Host address of the node's parent (origin for tier 0)."""
+        return self.relay.upstream_address.host
+
+
+@dataclass
+class _SubscriberTrack:
+    """One track a subscriber follows, with dedupe and re-attach state."""
+
+    full_track_name: FullTrackName
+    on_object: Callable[[MoqtObject], None] | None
+    subscription: Subscription | None = None
+    seen: set[Location] = field(default_factory=set)
+    largest: Location | None = None
+    #: Monotonic count of distinct objects handed to the application (the
+    #: ``seen`` dedupe set is pruned, so its size is not a delivery count).
+    delivered: int = 0
+    duplicates_dropped: int = 0
+    #: While a gap FETCH is outstanding after a re-attach, live objects are
+    #: buffered so the recovered gap is delivered first, in order (same
+    #: machinery as the relay's upstream-switch recovery).
+    recovery: RecoveryBuffer = field(default_factory=RecoveryBuffer)
+
+
+@dataclass(eq=False)
+class TreeSubscriber:
+    """A leaf MoQT client attached below an edge relay.
+
+    The subscriber owns the client-side half of churn tolerance: it dedupes
+    deliveries by (group, object) ID, and after a re-attach it buffers the
+    new leaf's live stream until the gap FETCH has been delivered, so the
+    application callback observes every object exactly once, in order, no
+    matter how many relays died in between.
+    """
+
+    index: int
+    host: Host
+    session: MoqtSession
+    leaf: RelayNode
+    config: MoqtSessionConfig | None = None
+    tracks: list[_SubscriberTrack] = field(default_factory=list)
+    reattach_count: int = 0
+    gap_fetches: int = 0
+
+    # ---------------------------------------------------------- subscriptions
+    def subscribe_track(
+        self,
+        full_track_name: FullTrackName,
+        on_object: Callable[[MoqtObject], None] | None = None,
+    ) -> Subscription:
+        """Subscribe to a track with duplicate-free delivery to ``on_object``."""
+        track = _SubscriberTrack(full_track_name=full_track_name, on_object=on_object)
+        self.tracks.append(track)
+        track.subscription = self.session.subscribe(
+            full_track_name,
+            on_object=lambda obj, t=track: self.deliver(t, obj),
+        )
+        return track.subscription
+
+    # --------------------------------------------------------------- delivery
+    def deliver(self, track: _SubscriberTrack, obj: MoqtObject) -> None:
+        if track.recovery.intercept(obj):
+            return
+        self._deliver_now(track, obj)
+
+    def _deliver_now(self, track: _SubscriberTrack, obj: MoqtObject) -> None:
+        if obj.location in track.seen:
+            track.duplicates_dropped += 1
+            return
+        track.seen.add(obj.location)
+        track.delivered += 1
+        if track.largest is None or obj.location > track.largest:
+            track.largest = obj.location
+        if len(track.seen) > DEDUPE_PRUNE_THRESHOLD:
+            track.seen = prune_seen_locations(track.seen, track.largest)
+        if track.on_object is not None:
+            track.on_object(obj)
+
+    def flush_track(self, track: _SubscriberTrack) -> None:
+        """Release buffered live objects (ordered, deduplicated)."""
+        track.recovery.release(lambda obj: self._deliver_now(track, obj))
+
+    def finish_gap_fetch(self, track: _SubscriberTrack, fetch_request) -> None:
+        """Deliver a completed gap FETCH, then the buffered live stream."""
+        if fetch_request.succeeded:
+            for obj in sorted(fetch_request.objects, key=lambda o: o.location):
+                self._deliver_now(track, obj)
+        self.flush_track(track)
+
+    # ------------------------------------------------------------- statistics
+    @property
+    def duplicates_dropped(self) -> int:
+        """Duplicate deliveries suppressed across all tracks."""
+        return sum(track.duplicates_dropped for track in self.tracks)
+
+    @property
+    def objects_delivered(self) -> int:
+        """Distinct objects handed to application callbacks."""
+        return sum(track.delivered for track in self.tracks)
+
+
+# ------------------------------------------------------------------- failover
+class FailoverPolicy(Protocol):
+    """Chooses the new parent for a relay orphaned by a failed node.
+
+    Returning ``None`` delegates to the structural fallback: the dead
+    relay's own parent (the orphan's grandparent), or the origin when the
+    dead relay sat directly below it.
+    """
+
+    def choose_parent(
+        self, topology: "RelayTopology", orphan: RelayNode, dead: RelayNode
+    ) -> RelayNode | None:
+        """Pick a new parent for ``orphan`` after ``dead`` failed."""
+
+
+class SiblingFailover:
+    """Re-home orphans under the least-loaded surviving sibling of the dead
+    relay (same tier), falling back to the grandparent when the whole tier
+    is gone.  Keeps the tree's depth — and therefore its fan-out arithmetic —
+    intact across failures."""
+
+    def choose_parent(
+        self, topology: "RelayTopology", orphan: RelayNode, dead: RelayNode
+    ) -> RelayNode | None:
+        siblings = [
+            node
+            for node in topology.tiers[dead.tier_index]
+            if node.alive and node is not dead
+        ]
+        if not siblings:
+            return None
+        return min(siblings, key=lambda node: (node.load, node.index))
+
+
+class GrandparentFailover:
+    """Always re-home orphans under the dead relay's own parent (or the
+    origin).  Shortens the orphan's path at the price of concentrating load
+    one tier up — the policy to compare sibling failover against."""
+
+    def choose_parent(
+        self, topology: "RelayTopology", orphan: RelayNode, dead: RelayNode
+    ) -> RelayNode | None:
+        return None
+
+
+@dataclass
+class FailoverRecord:
+    """One orphan's journey to its new parent."""
+
+    kind: str  # "relay" | "subscriber"
+    name: str
+    tier: str
+    new_parent: str
+    detached_at: float
+    reattached_at: float | None = None
+
+    def mark_reattached(self, now: float) -> None:
+        """Record the first successful re-subscription (idempotent)."""
+        if self.reattached_at is None:
+            self.reattached_at = now
+
+    @property
+    def reattach_latency(self) -> float | None:
+        """Seconds from failure to an accepted re-subscription."""
+        if self.reattached_at is None:
+            return None
+        return self.reattached_at - self.detached_at
+
+
+@dataclass
+class FailoverEvent:
+    """Everything one join/leave/kill did to the tree."""
+
+    cause: str  # "kill" | "leave"
+    node: str
+    tier: str
+    at: float
+    records: list[FailoverRecord] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every orphan has re-attached."""
+        return all(record.reattached_at is not None for record in self.records)
+
+    def orphans(self, kind: str | None = None) -> list[FailoverRecord]:
+        """All orphan records, optionally filtered by kind."""
+        if kind is None:
+            return list(self.records)
+        return [record for record in self.records if record.kind == kind]
+
+    def latencies_by_tier(self) -> dict[str, list[float]]:
+        """Re-attach latencies grouped by the orphan's tier."""
+        grouped: dict[str, list[float]] = {}
+        for record in self.records:
+            latency = record.reattach_latency
+            if latency is None:
+                continue
+            grouped.setdefault(record.tier, []).append(latency)
+        return grouped
+
+
+# ------------------------------------------------------------------- topology
+class RelayTopology:
+    """The live membership view of a relay hierarchy.
+
+    Owns the tiers, the parent/child structure, subscriber placement and
+    failover.  :class:`~repro.relaynet.builder.RelayTree` and
+    :class:`~repro.relaynet.builder.RelayTreeBuilder` are thin construction
+    fronts over this class.
+
+    Parameters
+    ----------
+    network:
+        The network relay hosts and links live on.
+    origin:
+        Address of the origin MoQT publisher; its host must already exist.
+    spec:
+        The declarative shape to instantiate initially.
+    session_config:
+        MoQT session configuration shared by relays (and, by default, by
+        subscribers attached later).
+    port:
+        Port every relay accepts downstream sessions on.
+    failover_policy:
+        How orphans pick a new parent; :class:`SiblingFailover` by default.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        origin: Address,
+        spec: RelayTreeSpec,
+        session_config: MoqtSessionConfig | None = None,
+        port: int = DEFAULT_MOQT_PORT,
+        failover_policy: FailoverPolicy | None = None,
+    ) -> None:
+        self.network = network
+        self.origin = origin
+        self.spec = spec
+        self.session_config = session_config if session_config is not None else MoqtSessionConfig()
+        self.port = port
+        self.failover_policy = failover_policy if failover_policy is not None else SiblingFailover()
+        self.tiers: list[list[RelayNode]] = []
+        self.subscribers: list[TreeSubscriber] = []
+        #: Every join/leave/kill applied to the tree, in order.
+        self.events: list[FailoverEvent] = []
+        self._tier_created: list[int] = []
+        self._subscribers_created = 0
+        # Fail fast if the origin host is missing rather than at first subscribe.
+        network.host(origin.host)
+        self._build(spec)
+
+    # ------------------------------------------------------------ construction
+    def _build(self, spec: RelayTreeSpec) -> None:
+        """Instantiate the initial tree (identical wiring order to PR 1's
+        builder, so seeded runs stay bit-identical on the wire)."""
+        for tier_index, tier_spec in enumerate(spec.tiers):
+            hosts = self.network.add_hosts(
+                f"{spec.host_prefix}-{tier_spec.name}", tier_spec.relays
+            )
+            if tier_index == 0:
+                # The whole top tier hangs off the origin: a star.
+                self.network.connect_star(self.origin.host, hosts, tier_spec.uplink)
+            nodes: list[RelayNode] = []
+            self.tiers.append(nodes)
+            self._tier_created.append(0)
+            for host in hosts:
+                self._add_node(tier_index, host, parent=None, connect=tier_index > 0)
+
+    def _add_node(
+        self,
+        tier_index: int,
+        host: Host,
+        parent: RelayNode | None,
+        connect: bool,
+    ) -> RelayNode:
+        tier_spec = self.spec.tiers[tier_index]
+        if tier_index == 0:
+            parent = None
+            upstream = self.origin
+        else:
+            if parent is None:
+                parent = self._pick_parent(tier_index)
+            upstream = parent.address
+        if connect:
+            anchor = parent.host if parent is not None else self.network.host(self.origin.host)
+            self.network.connect(anchor, host, tier_spec.uplink)
+        relay = MoqtRelay(
+            host,
+            upstream=upstream,
+            port=self.port,
+            session_config=self.session_config,
+            tier=tier_spec.name,
+        )
+        index = self._tier_created[tier_index]
+        self._tier_created[tier_index] = index + 1
+        node = RelayNode(
+            tier_index=tier_index,
+            tier_name=tier_spec.name,
+            index=index,
+            host=host,
+            relay=relay,
+            parent=parent,
+        )
+        if parent is not None:
+            parent.load += 1
+        self.tiers[tier_index].append(node)
+        return node
+
+    # -------------------------------------------------------------- structure
+    def nodes(self) -> list[RelayNode]:
+        """Every relay node ever created, top tier first (including dead)."""
+        return [node for tier in self.tiers for node in tier]
+
+    def alive_nodes(self) -> list[RelayNode]:
+        """Every relay currently part of the tree."""
+        return [node for node in self.nodes() if node.alive]
+
+    def leaves(self) -> list[RelayNode]:
+        """The relays subscribers attach to (the last tier)."""
+        return list(self.tiers[-1])
+
+    def alive_leaves(self) -> list[RelayNode]:
+        """Last-tier relays still accepting subscribers."""
+        return [node for node in self.tiers[-1] if node.alive]
+
+    def tier(self, name: str) -> list[RelayNode]:
+        """All nodes of the tier with the given name."""
+        for tier_spec, nodes in zip(self.spec.tiers, self.tiers):
+            if tier_spec.name == name:
+                return list(nodes)
+        raise KeyError(f"no tier named {name!r}")
+
+    def children(self, node: RelayNode) -> list[RelayNode]:
+        """Alive child relays currently attached below ``node``."""
+        if node.tier_index + 1 >= len(self.tiers):
+            return []
+        return [
+            child
+            for child in self.tiers[node.tier_index + 1]
+            if child.alive and child.parent is node
+        ]
+
+    @property
+    def relay_count(self) -> int:
+        """Total number of relays ever built (including departed ones)."""
+        return sum(len(tier) for tier in self.tiers)
+
+    @property
+    def alive_relay_count(self) -> int:
+        """Relays currently part of the tree."""
+        return len(self.alive_nodes())
+
+    def _tier_index(self, tier: str | int) -> int:
+        if isinstance(tier, int):
+            if not 0 <= tier < len(self.tiers):
+                raise IndexError(f"no tier {tier}")
+            return tier
+        for index, tier_spec in enumerate(self.spec.tiers):
+            if tier_spec.name == tier:
+                return index
+        raise KeyError(f"no tier named {tier!r}")
+
+    # --------------------------------------------------------------- placement
+    def _pick_parent(self, tier_index: int) -> RelayNode:
+        """Least-loaded alive relay in the tier above (ties: oldest first)."""
+        candidates = [node for node in self.tiers[tier_index - 1] if node.alive]
+        if not candidates:
+            raise RuntimeError(
+                f"tier {self.spec.tiers[tier_index - 1].name!r} has no alive relays"
+            )
+        return min(candidates, key=lambda node: (node.load, node.index))
+
+    def _pick_leaf(self) -> RelayNode:
+        """Least-loaded alive leaf (ties: oldest first).
+
+        With every leaf alive and subscribers only ever added, this is
+        exactly round-robin — the static fan-out experiments keep their
+        wire-identical placement — but it skips dead leaves and absorbs
+        imbalance the moment the tree churns.
+        """
+        candidates = self.alive_leaves()
+        if not candidates:
+            raise RuntimeError("no alive leaf relays to attach subscribers to")
+        return min(candidates, key=lambda node: (node.load, node.index))
+
+    # ------------------------------------------------------------- subscribers
+    def attach_subscribers(
+        self,
+        count: int,
+        session_config: MoqtSessionConfig | None = None,
+        host_prefix: str = "sub",
+    ) -> list[TreeSubscriber]:
+        """Create ``count`` subscriber hosts below the leaf tier.
+
+        Each subscriber lands on the least-loaded alive leaf and opens an
+        MoQT session to it immediately.  Call repeatedly to grow the
+        population; host names continue from the total ever created.
+        """
+        config = session_config if session_config is not None else self.session_config
+        created: list[TreeSubscriber] = []
+        for _ in range(count):
+            index = self._subscribers_created
+            self._subscribers_created += 1
+            leaf = self._pick_leaf()
+            host = self.network.add_host(f"{host_prefix}-{index}")
+            self.network.connect(leaf.host, host, self.spec.subscriber_link)
+            session = self._open_subscriber_session(host, leaf, config)
+            subscriber = TreeSubscriber(
+                index=index, host=host, session=session, leaf=leaf, config=config
+            )
+            leaf.load += 1
+            created.append(subscriber)
+        self.subscribers.extend(created)
+        return created
+
+    def _open_subscriber_session(
+        self, host: Host, leaf: RelayNode, config: MoqtSessionConfig
+    ) -> MoqtSession:
+        endpoint = QuicEndpoint(host)
+        connection = endpoint.connect(
+            leaf.address, ConnectionConfig(alpn_protocols=(MOQT_ALPN,))
+        )
+        return MoqtSession(connection, is_client=True, config=config)
+
+    def subscribe_all(
+        self,
+        full_track_name: FullTrackName,
+        on_object: Callable[[TreeSubscriber, MoqtObject], None] | None = None,
+        subscribers: list[TreeSubscriber] | None = None,
+    ) -> list[Subscription]:
+        """Subscribe every (given or attached) subscriber to one track."""
+        targets = subscribers if subscribers is not None else self.subscribers
+        subscriptions: list[Subscription] = []
+        for subscriber in targets:
+            callback = None
+            if on_object is not None:
+                callback = lambda obj, sub=subscriber: on_object(sub, obj)
+            subscriptions.append(subscriber.subscribe_track(full_track_name, callback))
+        return subscriptions
+
+    # -------------------------------------------------------------- membership
+    def add_relay(self, tier: str | int, parent: RelayNode | None = None) -> RelayNode:
+        """Grow a tier by one relay while the tree runs.
+
+        The new relay hangs below ``parent`` (least-loaded alive relay in
+        the tier above when omitted) and aggregates lazily: it subscribes
+        upstream when its first downstream subscriber arrives, so joining is
+        free until the relay is actually used.
+        """
+        tier_index = self._tier_index(tier)
+        tier_spec = self.spec.tiers[tier_index]
+        if parent is not None:
+            if tier_index == 0:
+                raise ValueError("tier-0 relays attach to the origin, not a parent relay")
+            if not parent.alive:
+                raise ValueError(f"parent {parent.host.address} is not alive")
+            if parent.tier_index != tier_index - 1:
+                raise ValueError(
+                    f"parent {parent.host.address} is in tier {parent.tier_name!r}, "
+                    f"not the tier above {tier_spec.name!r}"
+                )
+        number = self._tier_created[tier_index]
+        host = self.network.add_host(f"{self.spec.host_prefix}-{tier_spec.name}-{number}")
+        return self._add_node(tier_index, host, parent=parent, connect=True)
+
+    def remove_relay(self, node: RelayNode, reason: str = "relay leaving") -> FailoverEvent:
+        """Gracefully drain a relay out of the tree.
+
+        Its subtree migrates first — child relays switch their uplink,
+        subscribers re-attach — while the relay still answers, then the
+        relay closes its sessions and releases its ports.
+        """
+        self._check_alive(node)
+        node.alive = False
+        event = self._evacuate(node, cause="leave")
+        node.relay.shutdown(reason)
+        return event
+
+    def kill_relay(self, node: RelayNode, reason: str = "relay crashed") -> FailoverEvent:
+        """Crash a relay mid-stream and fail its subtree over.
+
+        The relay's sessions drop first (downstream subscribers see their
+        uplink die), then every orphan re-homes per the failover policy and
+        recovers the gap via FETCH from its new parent's cache.
+        """
+        self._check_alive(node)
+        node.alive = False
+        node.relay.shutdown(reason)
+        event = self._evacuate(node, cause="kill")
+        return event
+
+    def _check_alive(self, node: RelayNode) -> None:
+        if not node.alive:
+            raise ValueError(f"relay {node.host.address} already left the tree")
+
+    # ---------------------------------------------------------------- failover
+    def _evacuate(self, node: RelayNode, cause: str) -> FailoverEvent:
+        now = self.network.simulator.now
+        event = FailoverEvent(
+            cause=cause, node=node.host.address, tier=node.tier_name, at=now
+        )
+        if node.parent is not None and node.parent.alive:
+            node.parent.load -= 1
+        if node.tier_index + 1 < len(self.tiers):
+            for child in self.tiers[node.tier_index + 1]:
+                if child.alive and child.parent is node:
+                    self._reparent_relay(child, node, event, now)
+        for subscriber in self.subscribers:
+            if subscriber.leaf is node:
+                self._failover_subscriber(subscriber, event, now)
+        self.events.append(event)
+        return event
+
+    def _reparent_relay(
+        self, child: RelayNode, dead: RelayNode, event: FailoverEvent, now: float
+    ) -> None:
+        new_parent = self.failover_policy.choose_parent(self, child, dead)
+        if new_parent is None and dead.parent is not None and dead.parent.alive:
+            new_parent = dead.parent
+        if new_parent is not None:
+            upstream = new_parent.address
+            anchor: Host = new_parent.host
+            parent_name = new_parent.host.address
+            new_parent.load += 1
+        else:
+            # No surviving relay above: attach straight to the origin.
+            upstream = self.origin
+            anchor = self.network.host(self.origin.host)
+            parent_name = self.origin.host
+        if not self.network.has_link(anchor.address, child.host.address):
+            self.network.connect(anchor, child.host, self.spec.tiers[child.tier_index].uplink)
+        child.parent = new_parent
+        record = FailoverRecord(
+            kind="relay",
+            name=child.host.address,
+            tier=child.tier_name,
+            new_parent=parent_name,
+            detached_at=now,
+        )
+        event.records.append(record)
+        has_live_tracks = any(
+            track.downstream or track.awaiting_upstream
+            for track in child.relay.tracks().values()
+        )
+        child.relay.switch_upstream(
+            upstream,
+            on_track_reattached=lambda track, r=record: r.mark_reattached(
+                self.network.simulator.now
+            ),
+        )
+        if not has_live_tracks:
+            # A lazy relay with nothing subscribed has no SUBSCRIBE_OK to
+            # wait for: re-pointing its uplink completes the failover.
+            record.mark_reattached(now)
+
+    def _failover_subscriber(
+        self, subscriber: TreeSubscriber, event: FailoverEvent, now: float
+    ) -> None:
+        if not self.alive_leaves():
+            # Nowhere left to re-home: record the stranded orphan (the event
+            # honestly reads incomplete) instead of raising mid-evacuation
+            # with the dead relay already torn down.
+            event.records.append(
+                FailoverRecord(
+                    kind="subscriber",
+                    name=subscriber.host.address,
+                    tier="subscribers",
+                    new_parent="",
+                    detached_at=now,
+                )
+            )
+            return
+        new_leaf = self._pick_leaf()
+        record = FailoverRecord(
+            kind="subscriber",
+            name=subscriber.host.address,
+            tier="subscribers",
+            new_parent=new_leaf.host.address,
+            detached_at=now,
+        )
+        event.records.append(record)
+        self._reattach_subscriber(subscriber, new_leaf, record)
+
+    def _reattach_subscriber(
+        self, subscriber: TreeSubscriber, new_leaf: RelayNode, record: FailoverRecord
+    ) -> None:
+        """Move a subscriber to a new leaf: fresh session, re-subscribe every
+        track, and fill the delivery gap with a FETCH from the leaf's cache."""
+        if not subscriber.session.closed:
+            subscriber.session.close("leaf relay lost")
+        if not self.network.has_link(new_leaf.host.address, subscriber.host.address):
+            self.network.connect(new_leaf.host, subscriber.host, self.spec.subscriber_link)
+        config = subscriber.config if subscriber.config is not None else self.session_config
+        subscriber.session = self._open_subscriber_session(subscriber.host, new_leaf, config)
+        subscriber.leaf = new_leaf
+        subscriber.reattach_count += 1
+        new_leaf.load += 1
+        restored = 0
+        for track in subscriber.tracks:
+            if track.subscription is not None and track.subscription.state == "done":
+                continue  # the application unsubscribed; nothing to restore
+            self._resubscribe_subscriber_track(subscriber, track, record)
+            restored += 1
+        if restored == 0:
+            # Nothing to re-subscribe: the re-homing itself completes the
+            # failover (otherwise the record would wait on a SUBSCRIBE_OK
+            # that will never come and the event would never read complete).
+            record.mark_reattached(self.network.simulator.now)
+
+    def _resubscribe_subscriber_track(
+        self, subscriber: TreeSubscriber, track: _SubscriberTrack, record: FailoverRecord
+    ) -> None:
+        # Resume from the last delivered object (inclusive — the dedupe set
+        # drops the boundary).  A subscriber that never received anything
+        # falls back to the old subscription's advertised live position:
+        # later objects are gap, earlier ones are pre-join history.
+        resume_from = track.largest
+        if (
+            resume_from is None
+            and track.subscription is not None
+            and track.subscription.largest is not None
+        ):
+            previous = track.subscription.largest
+            resume_from = Location(previous.group_id, previous.object_id + 1)
+        if resume_from is not None:
+            track.recovery.arm()
+        else:
+            subscriber.flush_track(track)
+
+        def on_response(
+            subscription: Subscription,
+            sub: TreeSubscriber = subscriber,
+            t: _SubscriberTrack = track,
+            resume: Location | None = resume_from,
+            rec: FailoverRecord = record,
+        ) -> None:
+            if not subscription.is_active:
+                sub.flush_track(t)
+                return
+            rec.mark_reattached(self.network.simulator.now)
+            if resume is None or not t.recovery.active:
+                return
+            # The resume point rides along (inclusive range) and is dropped
+            # by the subscriber's duplicate filter.
+            sub.gap_fetches += 1
+            sub.session.fetch(
+                t.full_track_name,
+                resume,
+                OPEN_RANGE_END,
+                on_complete=lambda fetch_request, s=sub, tr=t: s.finish_gap_fetch(
+                    tr, fetch_request
+                ),
+            )
+
+        track.subscription = subscriber.session.subscribe(
+            track.full_track_name,
+            on_object=lambda obj, s=subscriber, t=track: s.deliver(t, obj),
+            on_response=on_response,
+        )

@@ -60,6 +60,14 @@ class TestExamples:
         assert "Fig. 1a" in output and "Fig. 1b" in output
         assert "shape matches: True" in output
 
+    def test_dns_over_relay(self, capsys):
+        _run_example("dns_over_relay.py")
+        output = capsys.readouterr().out
+        assert "forwarder via edge-0" in output
+        assert "resolver via edge-1" in output
+        assert "mid tier only" in output
+        assert "push reached forwarder via edge-0" in output
+
 
 @pytest.mark.slow
 class TestRunner:
@@ -68,6 +76,8 @@ class TestRunner:
 
         reports = run_all(fast=True)
         identifiers = [report.experiment_id for report in reports]
-        assert identifiers == ["E1", "E2", "E3", "E4", "E5", "E6", "E7/E8", "E9", "E10", "E11"]
+        assert identifiers == [
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7/E8", "E9", "E10", "E11", "E12",
+        ]
         for report in reports:
             assert report.table and "-" in report.table
