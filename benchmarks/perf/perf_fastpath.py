@@ -16,7 +16,12 @@ Three micro/macro layers cover the simulation fast path end to end:
 * ``relay_churn`` — the E12 churn macro-benchmark: kill a mid-tier and an
   edge relay under a live 1,000-subscriber CDN run and assert the delivery
   contract survives (every subscriber sees a gapless, duplicate-free,
-  in-order sequence; re-attach latency matches the closed-form model).
+  in-order sequence; re-attach latency matches the closed-form model);
+* ``failure_detection`` — the E13 in-band detection macro-benchmark: crash
+  a mid-tier and an edge relay *silently* (zero control-plane kill signals)
+  and assert delivery stays gapless end to end with failover driven purely
+  by QUIC liveness (PTO-suspect and idle-timeout paths, both matching the
+  closed-form detection model).
 
 Results are written to ``BENCH_fastpath.json`` (schema documented in
 ``benchmarks/perf/README.md``) so the performance trajectory of the repo is
@@ -38,6 +43,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.experiments.failure_detection import run_failure_detection
 from repro.experiments.relay_churn import run_relay_churn
 from repro.experiments.relay_fanout import run_relay_fanout
 from repro.netsim.simulator import Simulator, Timer
@@ -49,7 +55,7 @@ from repro.quic.varint import (
     encode_varint,
 )
 
-SCHEMA = "bench-fastpath/v2"
+SCHEMA = "bench-fastpath/v3"
 
 #: Varint corpus: RFC 9000 boundary values of every size class plus
 #: mid-range representatives.
@@ -238,6 +244,53 @@ def bench_relay_churn(subscribers: int = 1000) -> dict[str, object]:
     }
 
 
+def bench_failure_detection(subscribers: int = 1000) -> dict[str, object]:
+    """E13 macro-benchmark: silent crashes, failover purely in-band.
+
+    No control-plane kill signal is issued; a mid-tier relay crash must be
+    detected through keepalive probe timeouts (PTO-suspect path) and an
+    edge crash through the subscribers' idle timers (idle-timeout path).
+    The correctness fields are machine-independent: delivery must stay
+    gapless end to end, both measured detection latencies must match the
+    closed-form model in ``repro.analysis.detection``, and every orphan
+    must re-attach on the 3-RTT floor after detection.
+    """
+    start = time.perf_counter()
+    result = run_failure_detection(subscribers=subscribers)
+    elapsed = time.perf_counter() - start
+    detection: dict[str, dict[str, object]] = {}
+    for sample in result.samples:
+        detection[sample.killed] = {
+            "path": sample.detected_via,
+            "model_path": sample.model_path,
+            "detect_ms": round(sample.detection_latency * 1000, 3),
+            "model_ms": round(sample.model_detection_latency * 1000, 3),
+            "orphans": sample.orphan_relays + sample.orphan_subscribers,
+            "complete": sample.complete,
+        }
+    return {
+        "subscribers": subscribers,
+        "updates": result.updates,
+        "crashes": len(result.samples),
+        "control_plane_kills": result.control_plane_kills,
+        "seconds": round(elapsed, 6),
+        "delivered_objects": result.delivered_objects,
+        "expected_objects": result.expected_objects,
+        "gapless_subscribers": result.gapless_subscribers,
+        "gapless_ok": result.gapless,
+        "duplicates_dropped": (
+            result.relay_duplicates_dropped + result.subscriber_duplicates_dropped
+        ),
+        "recovery_fetches": result.recovery_fetches + result.subscriber_gap_fetches,
+        "false_positive_events": result.false_positive_events,
+        "detection_latency": detection,
+        "detection_model_ok": result.detection_model_ok,
+        "reattach_model_ok": result.reattach_model_ok,
+        "failover_complete_ok": all(sample.complete for sample in result.samples)
+        and len(result.samples) == 2,
+    }
+
+
 def run(smoke: bool = False, skip_macro: bool = False) -> dict[str, object]:
     """Run the harness and return the result document."""
     benchmarks: dict[str, object] = {}
@@ -249,6 +302,9 @@ def run(smoke: bool = False, skip_macro: bool = False) -> dict[str, object]:
         subscribers=200 if smoke else 1000
     )
     benchmarks["relay_churn"] = bench_relay_churn(subscribers=200 if smoke else 1000)
+    benchmarks["failure_detection"] = bench_failure_detection(
+        subscribers=200 if smoke else 1000
+    )
     if not skip_macro and not smoke:
         benchmarks["cdn_macro_10k"] = bench_cdn_macro_10k()
     return {
@@ -294,6 +350,19 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not churn["failover_complete_ok"]:
         print("FAIL: relay churn left orphans unattached", file=sys.stderr)
+        return 1
+    detection = document["benchmarks"]["failure_detection"]
+    if not detection["gapless_ok"]:
+        print("FAIL: in-band failure detection broke gapless delivery", file=sys.stderr)
+        return 1
+    if not detection["failover_complete_ok"]:
+        print("FAIL: in-band detection left orphans unattached", file=sys.stderr)
+        return 1
+    if not (detection["detection_model_ok"] and detection["reattach_model_ok"]):
+        print("FAIL: detection latency diverged from the closed-form model", file=sys.stderr)
+        return 1
+    if detection["control_plane_kills"] or detection["false_positive_events"]:
+        print("FAIL: in-band run used control-plane signals or false positives", file=sys.stderr)
         return 1
     print(f"wrote {output}")
     return 0

@@ -18,7 +18,9 @@ with the corresponding model here, so discrepancies are caught by tests.
 * :mod:`repro.analysis.fanout` — unicast vs. relay-tree per-tier update
   traffic for the §3 fan-out argument;
 * :mod:`repro.analysis.churn` — re-attach latency and FETCH gap-recovery
-  bounds for relay failover under a live tree.
+  bounds for relay failover under a live tree;
+* :mod:`repro.analysis.detection` — in-band failure-detection latency
+  (QUIC PTO-suspect and idle-timeout paths) stacked on the re-attach floor.
 """
 
 from repro.analysis.latency_model import (
@@ -63,6 +65,12 @@ from repro.analysis.churn import (
     recovery_model,
     expected_gap_objects,
 )
+from repro.analysis.detection import (
+    DetectionModel,
+    give_up_latency,
+    pto_fire_offsets,
+    suspect_latency,
+)
 
 __all__ = [
     "TransportScenario",
@@ -93,4 +101,8 @@ __all__ = [
     "RecoveryModel",
     "recovery_model",
     "expected_gap_objects",
+    "DetectionModel",
+    "give_up_latency",
+    "pto_fire_offsets",
+    "suspect_latency",
 ]

@@ -107,6 +107,9 @@ class RelayChurnResult:
     recovery_fetches: int
     recovered_objects: int
     subscriber_gap_fetches: int
+    #: Per-subscriber delivered group sequences, keyed by subscriber index —
+    #: the determinism canary compares these bit-for-bit across seeded runs.
+    delivery_sequences: dict[int, list[int]] = field(default_factory=dict)
     events: list[FailoverEvent] = field(default_factory=list)
 
     @property
@@ -257,5 +260,6 @@ def run_relay_churn(
         recovery_fetches=recovery_fetches,
         recovered_objects=recovered_objects,
         subscriber_gap_fetches=gap_fetches,
+        delivery_sequences=received,
         events=events,
     )

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.experiments.compatibility import run_compatibility
+from repro.experiments.failure_detection import run_failure_detection
 from repro.experiments.fig1a import run_fig1a
 from repro.experiments.fig1b import run_fig1b
 from repro.experiments.fig2_sequence import run_fig2
@@ -112,6 +113,21 @@ def run_all(fast: bool = True) -> list[ExperimentReport]:
     reports.append(
         ExperimentReport("E12", "§3/§5.3 — relay churn: failover and FETCH gap recovery",
                          churn_table, churn)
+    )
+    detection = run_failure_detection(
+        subscribers=60 if fast else 1000,
+        mid_relays=2 if fast else 4,
+        edge_per_mid=2 if fast else 4,
+        updates_before=2 if fast else 4,
+        updates_between=4 if fast else 6,
+        updates_after=4 if fast else 6,
+    )
+    detection_table = "\n\n".join(
+        [format_table(detection.rows()), format_table([detection.summary_row()])]
+    )
+    reports.append(
+        ExperimentReport("E13", "§3/§5.3 — in-band failure detection: PTO/idle-driven failover",
+                         detection_table, detection)
     )
     return reports
 

@@ -163,6 +163,9 @@ class RelayStatistics:
     duplicate_objects_dropped: int = 0
     recovery_fetches: int = 0
     recovered_objects: int = 0
+    #: Uplink failures noticed through the transport's liveness machinery
+    #: (PTO suspicion or idle/PTO death) rather than an announced close.
+    uplink_failures_detected: int = 0
 
 
 class MoqtRelay:
@@ -181,6 +184,11 @@ class MoqtRelay:
         Optional label naming the relay's tier in a hierarchy (e.g. ``"edge"``
         or ``"mid"``); purely informational, used by
         :class:`repro.relaynet.RelayNetStats` to aggregate counters per tier.
+    upstream_connection:
+        QUIC connection configuration for the uplink.  Deployments that rely
+        on in-band failure detection (E13) enable keepalives and tune the
+        idle timeout here; the default is the plain MoQT-ALPN configuration
+        the static experiments have always used (wire-identical).
     """
 
     def __init__(
@@ -190,12 +198,22 @@ class MoqtRelay:
         port: int = DEFAULT_MOQT_PORT,
         session_config: MoqtSessionConfig | None = None,
         tier: str = "",
+        upstream_connection: ConnectionConfig | None = None,
     ) -> None:
         self.host = host
         self.simulator = host.simulator
         self.upstream_address = upstream
         self.tier = tier
         self.session_config = session_config if session_config is not None else MoqtSessionConfig()
+        self.upstream_connection_config = upstream_connection
+        #: Hook a topology controller installs to learn, in-band, that this
+        #: relay's uplink is dying: ``on_uplink_dying(relay, cause)`` with
+        #: ``cause`` one of the transport's liveness causes (``"pto-suspect"``,
+        #: ``"idle-timeout"``, ``"pto-give-up"``).  Fires once per dying
+        #: uplink session, before the session's close teardown, so the
+        #: controller can switch the uplink while pending subscribes are
+        #: still transplantable.
+        self.on_uplink_dying: Callable[["MoqtRelay", str], None] | None = None
         self.statistics = RelayStatistics()
         self._tracks: dict[FullTrackName, RelayTrack] = {}
         self._downstream_sessions: list[MoqtSession] = []
@@ -204,6 +222,9 @@ class MoqtRelay:
         #: closes only their own subscriptions, with no scanning either way.
         self._downstream_index: dict[MoqtSession, dict[int, RelayTrack]] = {}
         self._upstream_session: MoqtSession | None = None
+        #: Uplink session whose failure has already been reported (resets on
+        #: recovery), so one dying uplink raises exactly one report.
+        self._uplink_failure_reported: MoqtSession | None = None
 
         self._server_endpoint = QuicEndpoint(
             host,
@@ -245,17 +266,55 @@ class MoqtRelay:
     def _ensure_upstream_session(self) -> MoqtSession:
         if self._upstream_session is not None and not self._upstream_session.closed:
             return self._upstream_session
-        connection = self._client_endpoint.connect(
-            self.upstream_address,
-            ConnectionConfig(alpn_protocols=(MOQT_ALPN,)),
-        )
+        config = self.upstream_connection_config
+        if config is None:
+            config = ConnectionConfig(alpn_protocols=(MOQT_ALPN,))
+        connection = self._client_endpoint.connect(self.upstream_address, config)
         self._upstream_session = MoqtSession(
             connection,
             is_client=True,
             config=self.session_config,
             on_closed=self._on_upstream_closed,
+            on_liveness=self._on_upstream_liveness,
         )
         return self._upstream_session
+
+    @property
+    def upstream_session(self) -> MoqtSession | None:
+        """The current uplink session, if one has been opened."""
+        return self._upstream_session
+
+    @property
+    def upstream_quic_connection(self) -> QuicConnection | None:
+        """The QUIC connection under the current uplink session, if any."""
+        if self._upstream_session is None:
+            return None
+        return self._upstream_session.connection
+
+    def _on_upstream_liveness(self, session: MoqtSession, old: str, new: str) -> None:
+        """React to in-band liveness transitions of the uplink transport.
+
+        Only the *current* uplink matters — transitions of sessions an
+        earlier :meth:`switch_upstream` already replaced are stale.  A
+        recovery (suspect → healthy) needs no action; suspicion or death is
+        reported to the topology controller via :attr:`on_uplink_dying`,
+        which typically re-parents this relay while the dying session's
+        state (pending subscribes included) is still intact.
+        """
+        if session is not self._upstream_session:
+            return
+        if new == "healthy":
+            self._uplink_failure_reported = None
+            return
+        if session is self._uplink_failure_reported:
+            # One incident, one report: a suspect session that nobody
+            # replaced (e.g. no failover target exists) later going dead is
+            # still the same dying uplink.
+            return
+        self._uplink_failure_reported = session
+        self.statistics.uplink_failures_detected += 1
+        if self.on_uplink_dying is not None:
+            self.on_uplink_dying(self, session.connection.liveness_cause)
 
     def _on_upstream_closed(self, session: MoqtSession, reason: str) -> None:
         """Fail every subscription riding the dead upstream session.
@@ -279,7 +338,13 @@ class MoqtRelay:
             reason=f"upstream session closed: {reason}" if reason else "upstream session closed",
         )
         for track in self._tracks.values():
-            self._flush_recovery(track)
+            # An armed recovery buffer is deliberately *not* released here:
+            # releasing would advance ``largest_forwarded`` past the gap the
+            # in-flight FETCH was recovering, so a later switch (or the next
+            # downstream subscriber) could never fetch it again.  The buffer
+            # is carried until the next upstream attach, which re-arms it
+            # with a fresh gap FETCH (:meth:`_resubscribe_track`) or
+            # releases it when there is nothing to recover.
             if track.upstream_subscription is None:
                 continue
             track.upstream_subscription = None
@@ -414,13 +479,25 @@ class MoqtRelay:
             # likely the old session failing its fetches on close) must not
             # release it — the new parent's gap FETCH will.
             return
+        if not fetch_request.succeeded and session.closed:
+            # The fetch failed *because the uplink itself died* (the session
+            # fails its pending fetches on close) while it is still the
+            # current one.  Flushing here would deliver the buffered live
+            # tail and advance ``largest_forwarded`` past the unrecovered
+            # gap, so the next switch's resume point would skip it forever.
+            # Leave the buffer armed: it is carried until the next upstream
+            # attach — :meth:`switch_upstream` / :meth:`_resubscribe_track`,
+            # or the recovery branch of :meth:`_handle_downstream_subscribe`
+            # — which re-fetches the gap and releases it coherently.
+            return
         if fetch_request.succeeded:
             for obj in sorted(fetch_request.objects, key=lambda o: o.location):
                 if obj.location not in track.forwarded:
                     self.statistics.recovered_objects += 1
                 self._deliver_upstream_object(track, obj)
-        # Success or not, release the buffered live stream; on failure the
-        # gap stays lost but delivery resumes (availability over completeness).
+        # Delivered or genuinely refused by a live parent: release the
+        # buffered live stream; on refusal the gap stays lost but delivery
+        # resumes (availability over completeness).
         self._flush_recovery(track)
 
     def _flush_recovery(self, track: RelayTrack) -> None:
@@ -438,6 +515,22 @@ class MoqtRelay:
             self._upstream_session.close(reason)
         self._server_endpoint.close()
         self._client_endpoint.close()
+
+    def crash(self) -> None:
+        """Vanish without a trace: no close frames, no callbacks, no bytes.
+
+        The silent counterpart of :meth:`shutdown`, used as the fault
+        injector for in-band failure detection (E13): downstream sessions and
+        the uplink are abandoned mid-flight, the ports unbind, and every peer
+        is left to notice through its own QUIC liveness machinery (probe
+        timeouts or idle expiry) that this relay no longer exists.
+        """
+        if self._upstream_session is not None:
+            self._upstream_session.closed = True
+        for session in self._downstream_sessions:
+            session.closed = True
+        self._server_endpoint.abandon()
+        self._client_endpoint.abandon()
 
     def _track_for(self, full_track_name: FullTrackName) -> RelayTrack:
         track = self._tracks.get(full_track_name)
@@ -465,6 +558,13 @@ class MoqtRelay:
             # First subscriber for this track: aggregate into one upstream
             # subscription and answer the downstream once it is accepted.
             track.awaiting_upstream.append(subscriber)
+            if track.recovery.active:
+                # The previous uplink died with a gap recovery in flight
+                # (its armed buffer was carried, not dropped): re-attach
+                # through the switch path so the gap is re-fetched and the
+                # buffer released coherently.
+                self._resubscribe_track(track, recover=True)
+                return None
             upstream = self._ensure_upstream_session()
             self.statistics.upstream_subscribes += 1
             track.upstream_subscription = upstream.subscribe(

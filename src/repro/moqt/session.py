@@ -229,6 +229,7 @@ class MoqtSession:
         publisher_delegate: PublisherDelegate | None = None,
         on_ready: Callable[["MoqtSession"], None] | None = None,
         on_closed: Callable[["MoqtSession", str], None] | None = None,
+        on_liveness: Callable[["MoqtSession", str, str], None] | None = None,
     ) -> None:
         self.connection = connection
         self.is_client = is_client
@@ -236,6 +237,12 @@ class MoqtSession:
         self.publisher_delegate = publisher_delegate
         self.on_ready = on_ready
         self.on_closed = on_closed
+        #: Observer of the transport's in-band liveness transitions
+        #: (``on_liveness(session, old_state, new_state)``); see
+        #: :attr:`repro.quic.connection.QuicConnection.on_liveness`.  May be
+        #: (re)assigned after construction — transitions are only ever
+        #: delivered from inside the event loop.
+        self.on_liveness = on_liveness
         self.statistics = SessionStatistics()
         self._simulator = connection._simulator  # noqa: SLF001 - same package family
 
@@ -272,6 +279,7 @@ class MoqtSession:
         connection.on_stream_data = self._on_stream_data
         connection.on_datagram = self._on_datagram
         connection.on_closed = self._on_connection_closed
+        connection.on_liveness = self._on_connection_liveness
 
         if is_client:
             self._start_client()
@@ -522,6 +530,22 @@ class MoqtSession:
         self._fail_pending_fetches(reason)
         if self.on_closed is not None:
             self.on_closed(self, reason)
+
+    @property
+    def liveness(self) -> str:
+        """The transport's in-band liveness state (healthy/suspect/dead)."""
+        return self.connection.liveness
+
+    def _on_connection_liveness(self, connection: QuicConnection, old: str, new: str) -> None:
+        """Surface transport-detected liveness transitions to the delegate.
+
+        Fires *before* any close teardown: a ``dead`` observer (a relay
+        failing over its uplink, E13) reacts while subscriptions and pending
+        requests are still intact, so it can transplant them instead of
+        watching them error.
+        """
+        if self.on_liveness is not None:
+            self.on_liveness(self, old, new)
 
     def _fail_pending_fetches(self, reason: str) -> None:
         """Error every fetch still in flight when the session dies.

@@ -14,7 +14,15 @@ latency and state-management arguments rest on:
 * connections must be kept alive (PING keepalives) or they die silently after
   the idle timeout, forcing a full re-establishment (§5.1);
 * loss is repaired by retransmission after a probe timeout, so object
-  delivery over streams is reliable even on lossy links.
+  delivery over streams is reliable even on lossy links;
+* peer failure is *detected*, never announced: a crashed peer simply stops
+  acknowledging, so the only in-band failure signals a deployment has are
+  consecutive probe timeouts and the idle timeout.  The connection exposes
+  them as a liveness state machine (``healthy`` → ``suspect`` after
+  :data:`QuicConnection.LIVENESS_SUSPECT_AFTER` consecutive PTOs, back to
+  ``healthy`` when an ACK lands, ``dead`` on idle timeout or PTO give-up)
+  with an observer callback, which is what drives relay failover without a
+  control-plane kill signal (E13).
 
 The implementation is callback-based and driven entirely by the discrete-
 event simulator.
@@ -56,6 +64,11 @@ from repro.quic.tls import (
 )
 
 PROTOCOL_LABEL = "quic"
+
+#: Liveness states of the in-band failure detector.
+LIVENESS_HEALTHY = "healthy"
+LIVENESS_SUSPECT = "suspect"
+LIVENESS_DEAD = "dead"
 
 
 @dataclass
@@ -146,6 +159,20 @@ class QuicConnection:
         self.on_stream_data: Callable[[int, bytes, bool], None] | None = None
         self.on_datagram: Callable[[bytes], None] | None = None
         self.on_closed: Callable[[int, str], None] | None = None
+        #: Observer of in-band liveness transitions, invoked as
+        #: ``on_liveness(connection, old_state, new_state)``.  Fires only for
+        #: transport-*detected* transitions (consecutive PTOs, ACK recovery,
+        #: idle timeout, PTO give-up) — never for locally or peer-initiated
+        #: closes, which are announced, not detected.
+        self.on_liveness: Callable[["QuicConnection", str, str], None] | None = None
+
+        # In-band liveness state (healthy / suspect / dead).
+        self.liveness = LIVENESS_HEALTHY
+        #: What caused the latest liveness transition: ``"pto-suspect"``,
+        #: ``"recovered"``, ``"idle-timeout"`` or ``"pto-give-up"``.
+        self.liveness_cause = ""
+        self.suspected_at: float | None = None
+        self.dead_at: float | None = None
 
         # Streams.
         self._streams: dict[int, QuicStream] = {}
@@ -358,27 +385,86 @@ class QuicConnection:
     def _probe_timeout(self) -> float:
         return max(2.5 * self._smoothed_rtt, 0.02)
 
+    @property
+    def probe_timeout(self) -> float:
+        """The current probe-timeout base interval (before backoff)."""
+        return self._probe_timeout()
+
+    @property
+    def idle_deadline(self) -> float | None:
+        """Absolute time the idle timer will fire (None once closed)."""
+        if self.closed:
+            return None
+        return self._idle_timer.deadline
+
+    @property
+    def keepalive_deadline(self) -> float | None:
+        """Absolute time of the next keepalive PING, if keepalives are on."""
+        return self._keepalive_timer.deadline
+
+    @property
+    def unacked_packets(self) -> int:
+        """Ack-eliciting packets currently awaiting acknowledgement."""
+        return len(self._unacked)
+
     #: Number of consecutive probe timeouts after which the peer is declared
     #: unreachable and the connection is abandoned (akin to a handshake /
     #: PTO give-up in real stacks; keeps unreachable-server probes bounded).
     MAX_CONSECUTIVE_LOSS_TIMEOUTS = 8
+
+    #: Consecutive probe timeouts after which the peer is *suspected* dead.
+    #: With doubling backoff the n-th consecutive PTO fires
+    #: ``probe_timeout * (2**n - 1)`` after the unacknowledged send, so the
+    #: suspicion latency is ``3 x probe_timeout`` at the default of 2.
+    LIVENESS_SUSPECT_AFTER = 2
+
+    #: The PTO backoff doubles per consecutive timeout but is capped at
+    #: ``2**cap`` probe intervals, as real stacks cap their timers — without
+    #: the cap, giving up after 8 consecutive timeouts could take minutes.
+    PTO_BACKOFF_EXPONENT_CAP = 3
+
+    def _set_liveness(self, state: str, cause: str) -> None:
+        if self.liveness == state:
+            return
+        old, self.liveness = self.liveness, state
+        self.liveness_cause = cause
+        if state == LIVENESS_SUSPECT:
+            self.suspected_at = self._simulator.now
+        elif state == LIVENESS_DEAD:
+            self.dead_at = self._simulator.now
+        if self.on_liveness is not None:
+            self.on_liveness(self, old, state)
 
     def _on_loss_timeout(self) -> None:
         if self.closed or not self._unacked:
             return
         self._consecutive_loss_timeouts += 1
         if self._consecutive_loss_timeouts > self.MAX_CONSECUTIVE_LOSS_TIMEOUTS:
+            self._set_liveness(LIVENESS_DEAD, "pto-give-up")
             self._handle_close(
                 int(TransportErrorCode.INTERNAL_ERROR), "peer unreachable", send_close=False
             )
             return
+        if (
+            self._consecutive_loss_timeouts >= self.LIVENESS_SUSPECT_AFTER
+            and self.liveness == LIVENESS_HEALTHY
+        ):
+            # The observer may react by abandoning this connection (a relay
+            # failing over its uplink); retransmitting is then pointless.
+            self._set_liveness(LIVENESS_SUSPECT, "pto-suspect")
+            if self.closed:
+                return
         self.statistics.retransmissions += len(self._unacked)
         for packet_number in sorted(self._unacked):
             packet = self._unacked.pop(packet_number)
             self._sent_times.pop(packet_number, None)
             # Re-send the same frames in a new packet (new packet number).
             self._send_packet(packet.packet_type, list(packet.frames))
-        self._loss_timer.start(2.0 * self._probe_timeout())
+        # Exponential backoff: the n-th consecutive timeout waits 2**n probe
+        # intervals (capped), so an unreachable peer is probed ever more
+        # sparsely while give-up stays bounded in time.
+        exponent = min(self._consecutive_loss_timeouts, self.PTO_BACKOFF_EXPONENT_CAP)
+        self._loss_timer.start(self._probe_timeout() * (2.0 ** exponent))
 
     # ----------------------------------------------------------------- receive
     def datagram_received(self, payload: bytes) -> None:
@@ -456,6 +542,9 @@ class QuicConnection:
 
     def _process_ack(self, frame: AckFrame) -> None:
         self._consecutive_loss_timeouts = 0
+        if self.liveness == LIVENESS_SUSPECT:
+            # The peer answered after all: the suspicion was a false positive.
+            self._set_liveness(LIVENESS_HEALTHY, "recovered")
         self._largest_acked = max(self._largest_acked, frame.largest)
         acked = [pn for pn in self._unacked if pn <= frame.largest]
         for packet_number in acked:
@@ -485,6 +574,11 @@ class QuicConnection:
             timer.start(self.config.idle_timeout)
 
     def _on_idle_timeout(self) -> None:
+        # The only signal a silent peer ever gives is this timer firing: with
+        # nothing in flight there are no probe timeouts, so idle expiry *is*
+        # the in-band death notification (the observer runs before the close
+        # teardown so it can react while the state is still intact).
+        self._set_liveness(LIVENESS_DEAD, "idle-timeout")
         self._handle_close(int(TransportErrorCode.NO_ERROR), "idle timeout", send_close=False)
 
     def _on_keepalive(self) -> None:
@@ -518,8 +612,36 @@ class QuicConnection:
             return
         self.closed = True
         self.close_reason = reason
+        # An announced close (local or via CONNECTION_CLOSE) ends liveness
+        # tracking without an observer callback: nothing was *detected*.
+        # The transitions that arrived here through the detectors (idle
+        # expiry, PTO give-up) already stamped their cause via _set_liveness.
+        if self.liveness != LIVENESS_DEAD:
+            self.liveness = LIVENESS_DEAD
+            self.liveness_cause = "closed"
+            self.dead_at = self._simulator.now
         self._loss_timer.stop()
         self._idle_timer.stop()
         self._keepalive_timer.stop()
         if self.on_closed is not None:
             self.on_closed(code, reason)
+
+    def abandon(self) -> None:
+        """Tear the connection down without sending a byte or firing callbacks.
+
+        Models the process owning the connection vanishing (a crashed relay):
+        the peer is never told, all timers die with the process, and no
+        application callback observes the end — the peer can only find out
+        through its own liveness machinery.  Used by fault injectors.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self.close_reason = "abandoned"
+        if self.liveness != LIVENESS_DEAD:
+            self.liveness = LIVENESS_DEAD
+            self.liveness_cause = "abandoned"
+            self.dead_at = self._simulator.now
+        self._loss_timer.stop()
+        self._idle_timer.stop()
+        self._keepalive_timer.stop()

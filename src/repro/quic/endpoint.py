@@ -171,3 +171,14 @@ class QuicEndpoint:
             if not connection.closed:
                 connection.close()
         self._host.unbind(self.address.port)
+
+    def abandon(self) -> None:
+        """Crash the endpoint: release the port, abandon every connection.
+
+        Unlike :meth:`close`, nothing is sent and no callbacks fire — the
+        process simply vanishes, incoming datagrams hit an unbound port, and
+        peers must detect the failure through their own liveness machinery.
+        """
+        for connection in self._connections.values():
+            connection.abandon()
+        self._host.unbind(self.address.port)

@@ -13,9 +13,11 @@ turns that argument into an executable subsystem:
 * :mod:`repro.relaynet.topology` — :class:`RelayTopology`, the live
   membership registry: dynamic join/leave (`add_relay`/`remove_relay`),
   crash failover (`kill_relay`) with pluggable policies
-  (:class:`SiblingFailover`, :class:`GrandparentFailover`), load-aware
-  subscriber placement, and FETCH-based gap recovery so established
-  subscriptions survive churn without duplicates or gaps;
+  (:class:`SiblingFailover`, :class:`GrandparentFailover`), in-band
+  failure detection (`crash_relay` + `report_failure`, driven by QUIC
+  liveness instead of a control-plane kill signal), load-aware subscriber
+  placement, and FETCH-based gap recovery so established subscriptions
+  survive churn without duplicates or gaps;
 * :mod:`repro.relaynet.builder` — :class:`RelayTreeBuilder` and
   :class:`RelayTree`, thin construction fronts instantiating a spec on a
   :class:`~repro.netsim.network.Network` (one
@@ -26,9 +28,11 @@ turns that argument into an executable subsystem:
   deltas to isolate measurement windows.
 
 The matching analytical models live in :mod:`repro.analysis.fanout`
-(static fan-out) and :mod:`repro.analysis.churn` (failover recovery); the
+(static fan-out), :mod:`repro.analysis.churn` (failover recovery) and
+:mod:`repro.analysis.detection` (in-band detection latency); the
 measured-vs-model experiments are :mod:`repro.experiments.relay_fanout`
-(E11) and :mod:`repro.experiments.relay_churn` (E12).
+(E11), :mod:`repro.experiments.relay_churn` (E12) and
+:mod:`repro.experiments.failure_detection` (E13).
 """
 
 from repro.relaynet.spec import RelayTierSpec, RelayTreeSpec

@@ -10,10 +10,17 @@ registry a running tree lives in:
 * :meth:`RelayTopology.remove_relay` drains a relay gracefully: its subtree
   is re-homed first (children switch their uplink, subscribers re-attach),
   then the relay shuts down;
-* :meth:`RelayTopology.kill_relay` simulates a crash: the relay vanishes,
-  and the topology re-homes every orphan through a pluggable
-  :class:`FailoverPolicy` — the least-loaded *sibling* of the dead relay by
-  default, its *grandparent* (or the origin) when no sibling survives.
+* :meth:`RelayTopology.kill_relay` simulates a crash with a control-plane
+  oracle: the relay vanishes silently and the topology re-homes every
+  orphan in the same instant through a pluggable :class:`FailoverPolicy` —
+  the least-loaded *sibling* of the dead relay by default, its
+  *grandparent* (or the origin) when no sibling survives;
+* :meth:`RelayTopology.crash_relay` is the oracle-free fault injector: the
+  relay vanishes and *nobody is told*.  Failover waits until some orphan's
+  QUIC transport notices — consecutive probe timeouts on a keepalive'd
+  uplink, or an idle expiry on a receive-only subscriber session — and the
+  wired liveness handlers call :meth:`RelayTopology.report_failure`, the
+  in-band entry point to the same evacuation machinery (E13).
 
 Re-homed relays keep their established downstream subscriptions: the MoQT
 layer (:meth:`repro.moqt.relay.MoqtRelay.switch_upstream`) re-subscribes
@@ -78,6 +85,14 @@ class RelayNode:
     #: Direct downstream attachments (child relays + subscribers) — the
     #: quantity load-aware placement minimises.
     load: int = 0
+    #: When :meth:`RelayTopology.crash_relay` silently crashed this node
+    #: (None for announced leaves/kills) — the reference point in-band
+    #: detection latency is measured from.
+    crashed_at: float | None = None
+    #: The failover event that evacuated this node's subtree, once one ran
+    #: (makes :meth:`RelayTopology.report_failure` idempotent when several
+    #: orphans detect the same death).
+    failure_event: "FailoverEvent | None" = None
 
     @property
     def address(self) -> Address:
@@ -167,8 +182,24 @@ class TreeSubscriber:
         """Release buffered live objects (ordered, deduplicated)."""
         track.recovery.release(lambda obj: self._deliver_now(track, obj))
 
-    def finish_gap_fetch(self, track: _SubscriberTrack, fetch_request) -> None:
-        """Deliver a completed gap FETCH, then the buffered live stream."""
+    def finish_gap_fetch(
+        self, track: _SubscriberTrack, fetch_request, session: MoqtSession | None = None
+    ) -> None:
+        """Deliver a completed gap FETCH, then the buffered live stream.
+
+        ``session`` is the session the fetch was issued on.  A fetch that
+        *failed because that session died* (closed mid-flight, or already
+        replaced by a newer re-attach) must not release the recovery buffer:
+        flushing would advance the dedupe high-water mark past the
+        unrecovered gap and the next re-attach's resume point would skip it
+        forever.  The next re-attach re-arms or flushes the buffer itself.
+        """
+        if (
+            not fetch_request.succeeded
+            and session is not None
+            and (session.closed or session is not self.session)
+        ):
+            return
         if fetch_request.succeeded:
             for obj in sorted(fetch_request.objects, key=lambda o: o.location):
                 self._deliver_now(track, obj)
@@ -257,13 +288,23 @@ class FailoverRecord:
 
 @dataclass
 class FailoverEvent:
-    """Everything one join/leave/kill did to the tree."""
+    """Everything one join/leave/kill/detected-failure did to the tree."""
 
-    cause: str  # "kill" | "leave"
+    cause: str  # "kill" | "leave" | "detected"
     node: str
     tier: str
     at: float
     records: list[FailoverRecord] = field(default_factory=list)
+    #: Operator-supplied diagnostic for announced kills/leaves (a silent
+    #: crash sends no reason anywhere — that is its defining property).
+    reason: str = ""
+    #: How the failure surfaced when ``cause == "detected"``: the transport
+    #: liveness cause of the first orphan to notice (``"pto-suspect"``,
+    #: ``"idle-timeout"`` or ``"pto-give-up"``).
+    detected_via: str = ""
+    #: Seconds from the silent crash (:attr:`RelayNode.crashed_at`) to the
+    #: first in-band report; None for control-plane-announced events.
+    detection_latency: float | None = None
 
     @property
     def complete(self) -> bool:
@@ -311,6 +352,14 @@ class RelayTopology:
         Port every relay accepts downstream sessions on.
     failover_policy:
         How orphans pick a new parent; :class:`SiblingFailover` by default.
+    uplink_connection:
+        QUIC configuration for every relay's uplink.  In-band failure
+        detection (E13) enables keepalives here so a silently crashed parent
+        is noticed through probe timeouts; the default (None) keeps the
+        historical wire-identical configuration.
+    subscriber_connection:
+        QUIC configuration for subscriber sessions; E13 shortens the idle
+        timeout here so orphaned subscribers notice a dead leaf in-band.
     """
 
     def __init__(
@@ -321,6 +370,8 @@ class RelayTopology:
         session_config: MoqtSessionConfig | None = None,
         port: int = DEFAULT_MOQT_PORT,
         failover_policy: FailoverPolicy | None = None,
+        uplink_connection: ConnectionConfig | None = None,
+        subscriber_connection: ConnectionConfig | None = None,
     ) -> None:
         self.network = network
         self.origin = origin
@@ -328,12 +379,15 @@ class RelayTopology:
         self.session_config = session_config if session_config is not None else MoqtSessionConfig()
         self.port = port
         self.failover_policy = failover_policy if failover_policy is not None else SiblingFailover()
+        self.uplink_connection = uplink_connection
+        self.subscriber_connection = subscriber_connection
         self.tiers: list[list[RelayNode]] = []
         self.subscribers: list[TreeSubscriber] = []
-        #: Every join/leave/kill applied to the tree, in order.
+        #: Every join/leave/kill/detected failover applied to the tree, in order.
         self.events: list[FailoverEvent] = []
         self._tier_created: list[int] = []
         self._subscribers_created = 0
+        self._nodes_by_relay: dict[MoqtRelay, RelayNode] = {}
         # Fail fast if the origin host is missing rather than at first subscribe.
         network.host(origin.host)
         self._build(spec)
@@ -379,7 +433,9 @@ class RelayTopology:
             port=self.port,
             session_config=self.session_config,
             tier=tier_spec.name,
+            upstream_connection=self.uplink_connection,
         )
+        relay.on_uplink_dying = self._on_relay_uplink_dying
         index = self._tier_created[tier_index]
         self._tier_created[tier_index] = index + 1
         node = RelayNode(
@@ -393,6 +449,7 @@ class RelayTopology:
         if parent is not None:
             parent.load += 1
         self.tiers[tier_index].append(node)
+        self._nodes_by_relay[relay] = node
         return node
 
     # -------------------------------------------------------------- structure
@@ -497,6 +554,7 @@ class RelayTopology:
             subscriber = TreeSubscriber(
                 index=index, host=host, session=session, leaf=leaf, config=config
             )
+            self._watch_subscriber_session(subscriber)
             leaf.load += 1
             created.append(subscriber)
         self.subscribers.extend(created)
@@ -506,10 +564,19 @@ class RelayTopology:
         self, host: Host, leaf: RelayNode, config: MoqtSessionConfig
     ) -> MoqtSession:
         endpoint = QuicEndpoint(host)
-        connection = endpoint.connect(
-            leaf.address, ConnectionConfig(alpn_protocols=(MOQT_ALPN,))
-        )
+        connection_config = self.subscriber_connection
+        if connection_config is None:
+            connection_config = ConnectionConfig(alpn_protocols=(MOQT_ALPN,))
+        connection = endpoint.connect(leaf.address, connection_config)
         return MoqtSession(connection, is_client=True, config=config)
+
+    def _watch_subscriber_session(self, subscriber: TreeSubscriber) -> None:
+        """Surface the subscriber session's in-band liveness to the topology."""
+        subscriber.session.on_liveness = (
+            lambda session, old, new, sub=subscriber: self._on_subscriber_liveness(
+                sub, session, new
+            )
+        )
 
     def subscribe_all(
         self,
@@ -562,25 +629,103 @@ class RelayTopology:
         self._check_alive(node)
         node.alive = False
         event = self._evacuate(node, cause="leave")
+        event.reason = reason
+        node.failure_event = event
         node.relay.shutdown(reason)
         return event
 
     def kill_relay(self, node: RelayNode, reason: str = "relay crashed") -> FailoverEvent:
-        """Crash a relay mid-stream and fail its subtree over.
+        """Crash a relay mid-stream and fail its subtree over immediately.
 
-        The relay's sessions drop first (downstream subscribers see their
-        uplink die), then every orphan re-homes per the failover policy and
-        recovers the gap via FETCH from its new parent's cache.
+        The crash itself is silent — the relay vanishes without a close
+        frame, exactly like :meth:`crash_relay` — but this method doubles as
+        the control-plane oracle the E12 churn experiment measures: the
+        topology re-homes every orphan in the same instant, so the measured
+        re-attach latency is the pure 3-RTT floor with zero detection cost.
+        Use :meth:`crash_relay` (fault injection only) plus in-band liveness
+        reporting (:meth:`report_failure`) when detection itself is under
+        test (E13).  ``reason`` is recorded on the returned event — the
+        crash itself is silent, so no reason ever reaches the wire.
         """
         self._check_alive(node)
         node.alive = False
-        node.relay.shutdown(reason)
+        node.crashed_at = self.network.simulator.now
+        node.relay.crash()
         event = self._evacuate(node, cause="kill")
+        event.reason = reason
+        node.failure_event = event
         return event
+
+    def crash_relay(self, node: RelayNode) -> None:
+        """Silently crash a relay *without telling the topology controller*.
+
+        Pure fault injection: the node's process vanishes (no close frames,
+        no callbacks, ports unbound) and no failover runs.  Recovery happens
+        only when some orphan's transport notices — consecutive probe
+        timeouts or an idle expiry — and calls :meth:`report_failure`, which
+        is the E13 in-band detection path.  ``node.alive`` deliberately stays
+        True: the controller does not know yet.
+        """
+        if node.crashed_at is not None or not node.alive:
+            raise ValueError(f"relay {node.host.address} already left the tree")
+        node.crashed_at = self.network.simulator.now
+        node.relay.crash()
 
     def _check_alive(self, node: RelayNode) -> None:
         if not node.alive:
             raise ValueError(f"relay {node.host.address} already left the tree")
+
+    # ------------------------------------------------------ in-band detection
+    def _on_relay_uplink_dying(self, relay: MoqtRelay, cause: str) -> None:
+        node = self._nodes_by_relay.get(relay)
+        if node is None or node.parent is None:
+            # Nodes hanging directly off the origin have no stand-in parent
+            # to fail over to; the relay's own error paths handle it.
+            return
+        # The dead node is resolved *now*, at signal time: once the failover
+        # has reparented this relay, any straggling liveness signal from the
+        # replaced session is filtered at the relay layer, and the new
+        # parent must never be blamed for the old one's death.
+        self.report_failure(node.parent, via=cause)
+
+    def _on_subscriber_liveness(
+        self, subscriber: TreeSubscriber, session: MoqtSession, new: str
+    ) -> None:
+        if session is not subscriber.session or new == "healthy":
+            return
+        self.report_failure(subscriber.leaf, via=session.connection.liveness_cause)
+
+    def report_failure(self, dead: RelayNode, via: str = "") -> FailoverEvent | None:
+        """Some orphan's transport says ``dead`` is gone: run the failover.
+
+        This is the in-band entry point to the same evacuation machinery the
+        control-plane :meth:`kill_relay` oracle uses, minus the oracle: a
+        relay whose uplink went suspect/dead, or a subscriber whose leaf
+        session idled out, names the parent it lost (the wired liveness
+        handlers resolve it at signal time) and the whole subtree of that
+        parent is re-homed through the failover policy — pending subscribes
+        included, which are re-issued through the new parent instead of
+        erroring back.  Idempotent per dead node: the first report
+        evacuates, later reporters get the same event back.
+
+        The transport is trusted over the membership view: the controller
+        may still believe the node is alive (that is the point of in-band
+        detection), but an orphan that timed out on it knows better.  A
+        false report against a healthy relay therefore *does* evacuate it —
+        the inherent cost of oracle-free detection, bounded by choosing
+        suspicion thresholds and idle timeouts well above healthy-path
+        silence.
+        """
+        if dead.failure_event is not None:
+            return dead.failure_event
+        now = self.network.simulator.now
+        dead.alive = False
+        event = self._evacuate(dead, cause="detected")
+        event.detected_via = via
+        if dead.crashed_at is not None:
+            event.detection_latency = now - dead.crashed_at
+        dead.failure_event = event
+        return event
 
     # ---------------------------------------------------------------- failover
     def _evacuate(self, node: RelayNode, cause: str) -> FailoverEvent:
@@ -681,6 +826,7 @@ class RelayTopology:
             self.network.connect(new_leaf.host, subscriber.host, self.spec.subscriber_link)
         config = subscriber.config if subscriber.config is not None else self.session_config
         subscriber.session = self._open_subscriber_session(subscriber.host, new_leaf, config)
+        self._watch_subscriber_session(subscriber)
         subscriber.leaf = new_leaf
         subscriber.reattach_count += 1
         new_leaf.load += 1
@@ -732,12 +878,13 @@ class RelayTopology:
             # The resume point rides along (inclusive range) and is dropped
             # by the subscriber's duplicate filter.
             sub.gap_fetches += 1
-            sub.session.fetch(
+            issued_on = sub.session
+            issued_on.fetch(
                 t.full_track_name,
                 resume,
                 OPEN_RANGE_END,
-                on_complete=lambda fetch_request, s=sub, tr=t: s.finish_gap_fetch(
-                    tr, fetch_request
+                on_complete=lambda fetch_request, s=sub, tr=t, sess=issued_on: s.finish_gap_fetch(
+                    tr, fetch_request, sess
                 ),
             )
 

@@ -270,6 +270,61 @@ class TestPeriodicTaskReentrantRestart:
         assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
 
 
+class TestChurnDeterminism:
+    """Seeded-determinism canary extended to churn (E12) and in-band E13.
+
+    Wire bytes and seeded event ordering are contract even across relay
+    kills: two runs with the same seed must produce bit-identical
+    per-subscriber delivery sequences and FailoverRecord latencies.
+    """
+
+    def _churn(self):
+        from repro.experiments.relay_churn import run_relay_churn
+
+        return run_relay_churn(
+            subscribers=30, mid_relays=2, edge_per_mid=2,
+            updates_before=2, updates_between=2, updates_after=2,
+        )
+
+    def test_relay_churn_delivery_sequences_are_bit_identical(self):
+        first, second = self._churn(), self._churn()
+        assert first.delivery_sequences == second.delivery_sequences
+        assert any(first.delivery_sequences.values()), "sequences were recorded"
+
+    def test_relay_churn_failover_records_are_bit_identical(self):
+        first, second = self._churn(), self._churn()
+        for event_a, event_b in zip(first.events, second.events):
+            assert event_a.at == event_b.at
+            assert [
+                (r.kind, r.name, r.new_parent, r.detached_at, r.reattached_at)
+                for r in event_a.records
+            ] == [
+                (r.kind, r.name, r.new_parent, r.detached_at, r.reattached_at)
+                for r in event_b.records
+            ]
+        assert first.rows() == second.rows()
+        assert first.summary_row() == second.summary_row()
+
+    def test_failure_detection_runs_are_bit_identical(self):
+        from repro.experiments.failure_detection import run_failure_detection
+
+        kwargs = dict(
+            subscribers=24, mid_relays=2, edge_per_mid=2,
+            updates_before=2, updates_between=4, updates_after=4,
+        )
+        first = run_failure_detection(**kwargs)
+        second = run_failure_detection(**kwargs)
+        assert first.delivery_sequences == second.delivery_sequences
+        assert [
+            (s.killed, s.detected_via, s.detection_latency, s.model_detection_latency)
+            for s in first.samples
+        ] == [
+            (s.killed, s.detected_via, s.detection_latency, s.model_detection_latency)
+            for s in second.samples
+        ]
+        assert first.rows() == second.rows()
+
+
 class TestAckWireIdentity:
     def test_hand_rolled_ack_matches_packet_encoding(self):
         from repro.netsim.packet import Address

@@ -203,6 +203,184 @@ class TestReliabilityAndLifecycle:
         assert simulator.pending_events == 0
 
 
+class TestTimerEdgeCases:
+    """Battery for the lazy-restart idle timer and the PTO backoff."""
+
+    def test_idle_timer_fires_exactly_at_the_extended_deadline(self):
+        # Traffic extends the idle deadline through the inlined lazy-restart
+        # fast path (a float assignment, no heap traffic); the close must
+        # happen exactly idle_timeout after the *last* activity, not at the
+        # originally armed wake-up.
+        simulator, server_ep, client_ep, _, _ = _build(idle=1.0)
+        config = ConnectionConfig(alpn_protocols=("moq-00",), idle_timeout=1.0)
+        connection = client_ep.connect(Address(SERVER, 4443), config)
+        closed_at = []
+        connection.on_closed = lambda code, reason: closed_at.append(simulator.now)
+        simulator.run(until=0.8)
+        stream = connection.open_stream()
+        connection.send_stream_data(stream, b"extend", fin=True)  # deadline moves
+        last_activity = simulator.now + RTT  # the echo reply restarts it again
+        simulator.run(until=10.0)
+        assert connection.closed
+        assert closed_at == [pytest.approx(last_activity + 1.0)]
+        assert connection.liveness == "dead"
+        assert connection.liveness_cause == "idle-timeout"
+
+    def test_pto_backoff_doubles_between_consecutive_timeouts(self):
+        # No server endpoint: every INITIAL goes unanswered, so consecutive
+        # PTOs walk the full backoff sequence.  Intervals must double per
+        # timeout, capped at 2**PTO_BACKOFF_EXPONENT_CAP probe intervals.
+        from repro.quic.connection import QuicConnection
+
+        simulator = Simulator(seed=3)
+        network = Network(simulator)
+        network.add_host(CLIENT)
+        network.add_host(SERVER)
+        network.connect(CLIENT, SERVER, LinkConfig(delay=0.01))
+        endpoint = QuicEndpoint(network.host(CLIENT))
+        connection = endpoint.connect(Address(SERVER, 4443), ConnectionConfig(initial_rtt=0.04))
+        send_times = []
+        original = connection._send
+        connection._send = lambda payload, destination: (
+            send_times.append(simulator.now),
+            original(payload, destination),
+        )
+        simulator.run(until=120.0)
+        assert connection.closed and connection.close_reason == "peer unreachable"
+        pto = max(2.5 * 0.04, 0.02)
+        # send_times holds the retransmissions only (the original INITIAL
+        # left before the capture hook was installed); the n-th and n+1-th
+        # retransmits are 2**n probe intervals apart, capped.
+        assert send_times[0] == pytest.approx(pto)
+        intervals = [b - a for a, b in zip(send_times, send_times[1:])]
+        cap = 2 ** QuicConnection.PTO_BACKOFF_EXPONENT_CAP
+        expected = [
+            pto * min(2**n, cap)
+            for n in range(1, QuicConnection.MAX_CONSECUTIVE_LOSS_TIMEOUTS)
+        ]
+        assert intervals == pytest.approx(expected)
+        assert connection.liveness == "dead"
+        assert connection.liveness_cause == "pto-give-up"
+
+
+def _isolated_connection(simulator, sent):
+    """A client connection whose outgoing packets are captured, not routed."""
+    from repro.netsim.packet import Address as Addr
+    from repro.quic.connection import ConnectionConfig as Config, QuicConnection
+
+    return QuicConnection(
+        simulator=simulator,
+        send_datagram=lambda payload, destination: sent.append(payload),
+        local_address=Addr("client", 1),
+        peer_address=Addr("server", 2),
+        connection_id=77,
+        is_client=True,
+        config=Config(initial_rtt=0.04),
+    )
+
+
+def _ack_everything(connection):
+    """Deliver an ACK covering every packet the connection ever sent."""
+    from repro.quic.frames import AckFrame
+    from repro.quic.packet import Packet, PacketType
+
+    connection.packet_received(
+        Packet(
+            packet_type=PacketType.INITIAL,
+            connection_id=connection.connection_id,
+            packet_number=0,
+            frames=(AckFrame(largest=connection._next_packet_number - 1),),
+        ),
+        wire_size=10,
+    )
+
+
+class TestLivenessStateMachine:
+    """healthy -> suspect -> (recovered | dead), observer callbacks."""
+
+    def _run_ptos(self, simulator, connection, count):
+        """Let exactly ``count`` consecutive loss timeouts fire."""
+        for _ in range(count):
+            deadline = connection._loss_timer.deadline
+            assert deadline is not None
+            simulator.run(until=deadline)
+
+    def test_ack_after_n_minus_1_ptos_keeps_the_connection_healthy(self):
+        simulator = Simulator()
+        sent = []
+        connection = _isolated_connection(simulator, sent)
+        transitions = []
+        connection.on_liveness = lambda c, old, new: transitions.append((old, new))
+        connection.start_handshake()
+        self._run_ptos(
+            simulator, connection, connection.LIVENESS_SUSPECT_AFTER - 1
+        )
+        assert connection.liveness == "healthy"
+        assert connection._consecutive_loss_timeouts == connection.LIVENESS_SUSPECT_AFTER - 1
+        _ack_everything(connection)
+        assert connection._consecutive_loss_timeouts == 0
+        assert connection.liveness == "healthy"
+        assert transitions == [], "no transition ever happened"
+
+    def test_suspect_after_n_consecutive_ptos_then_recovered_by_ack(self):
+        simulator = Simulator()
+        sent = []
+        connection = _isolated_connection(simulator, sent)
+        transitions = []
+        connection.on_liveness = lambda c, old, new: transitions.append(
+            (old, new, c.liveness_cause)
+        )
+        connection.start_handshake()
+        self._run_ptos(simulator, connection, connection.LIVENESS_SUSPECT_AFTER)
+        assert connection.liveness == "suspect"
+        assert connection.suspected_at == simulator.now
+        assert transitions == [("healthy", "suspect", "pto-suspect")]
+        _ack_everything(connection)
+        assert connection.liveness == "healthy"
+        assert transitions[-1] == ("suspect", "healthy", "recovered")
+        assert not connection.closed, "suspicion alone never closes"
+
+    def test_suspect_fires_at_the_modelled_offset(self):
+        # With doubling backoff the suspect transition lands exactly
+        # pto * (2**N - 1) after the unacknowledged send.
+        from repro.analysis.detection import suspect_latency
+
+        simulator = Simulator()
+        sent = []
+        connection = _isolated_connection(simulator, sent)
+        suspected = []
+        connection.on_liveness = lambda c, old, new: suspected.append(simulator.now)
+        connection.start_handshake()  # unacknowledged send at t=0
+        pto = connection.probe_timeout
+        self._run_ptos(simulator, connection, connection.LIVENESS_SUSPECT_AFTER)
+        assert suspected == [pytest.approx(suspect_latency(pto))]
+
+    def test_announced_close_sets_dead_without_observer_callback(self):
+        simulator = Simulator()
+        sent = []
+        connection = _isolated_connection(simulator, sent)
+        transitions = []
+        connection.on_liveness = lambda c, old, new: transitions.append((old, new))
+        connection.close(reason="done")
+        assert connection.liveness == "dead"
+        assert transitions == [], "announced closes are not detections"
+
+    def test_abandon_is_silent_and_stops_all_timers(self):
+        simulator = Simulator()
+        sent = []
+        connection = _isolated_connection(simulator, sent)
+        closed = []
+        connection.on_closed = lambda code, reason: closed.append(reason)
+        connection.start_handshake()
+        wire_before = len(sent)
+        connection.abandon()
+        simulator.run_until_idle()
+        assert connection.closed and connection.close_reason == "abandoned"
+        assert len(sent) == wire_before, "no close frame escapes a crash"
+        assert closed == [], "no callback observes the crash"
+        assert simulator.pending_events == 0, "all timers died with the process"
+
+
 class TestConnectionIdAllocation:
     def test_ids_stay_within_varint_range_at_high_connection_counts(self):
         simulator = Simulator(seed=9)

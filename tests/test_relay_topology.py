@@ -5,16 +5,23 @@ Covers the livetree refactor end to end:
 * membership — relays joining a running tree, graceful leaves, crashes;
 * failover policies — sibling vs. grandparent re-homing;
 * the MoQT-layer recovery contract — upstream-switch dedupe (no duplicate
-  delivery after re-parenting) and FETCH-based gap fill;
+  delivery after re-parenting) and FETCH-based gap fill, including the
+  hypothesis property that arbitrary live/recovered interleavings with
+  duplicates and reordering still yield a gapless, in-order sequence;
 * load-aware subscriber placement skipping dead leaves;
 * the unsubscribe-during-deferred-upstream-subscribe race;
 * the pending-FETCH-over-a-dying-upstream regression (ROADMAP known issue);
+* the close-during-switch race: a session closed while a recovery FETCH is
+  in flight must not lose the gap for good;
+* in-band failure detection — silent crashes recovered purely through
+  QUIC liveness reports (:meth:`RelayTopology.report_failure`);
 * the E12 churn experiment and the closed-form recovery model.
 """
 
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.analysis.churn import RecoveryModel, expected_gap_objects, recovery_model
 from repro.experiments.relay_fanout import (
@@ -430,6 +437,346 @@ class TestRaces:
         assert fetched and fetched[0].state == "error"
         simulator.run(until=simulator.now + 2.0)
         assert len(fetched) == 1, "no double completion"
+
+
+class TestDedupeRecoveryProperty:
+    """Hypothesis property: per-track (group, object) dedupe + RecoveryBuffer.
+
+    Models exactly what a re-attached subscriber's track goes through: some
+    objects delivered before the failure, a gap FETCH answering with an
+    overlapping prefix (possibly shuffled — the buffer sorts), and the new
+    parent's live stream (buffered while the fetch is outstanding) carrying
+    reordered duplicates of recovered territory.  Whatever the interleaving,
+    the application must observe every group exactly once, in order, with
+    no gaps.
+    """
+
+    @staticmethod
+    def _track_harness():
+        from repro.relaynet.topology import TreeSubscriber, _SubscriberTrack
+
+        delivered: list[int] = []
+        track = _SubscriberTrack(
+            full_track_name=TRACK, on_object=lambda obj: delivered.append(obj.group_id)
+        )
+        subscriber = TreeSubscriber.__new__(TreeSubscriber)
+        subscriber.index = 0
+        subscriber.host = None
+        subscriber.session = None
+        subscriber.leaf = None
+        subscriber.config = None
+        subscriber.tracks = [track]
+        subscriber.reattach_count = 0
+        subscriber.gap_fetches = 0
+        return subscriber, track, delivered
+
+    @staticmethod
+    def _obj(group: int) -> MoqtObject:
+        return MoqtObject(group_id=group, object_id=0, payload=b"x")
+
+    @given(
+        total=st.integers(min_value=1, max_value=30),
+        pre=st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_any_interleaving_yields_gapless_in_order_delivery(self, total, pre):
+        groups = list(range(2, 2 + total))
+        # Delivered live before the failure: an in-order prefix.
+        delivered_before = pre.draw(
+            st.integers(min_value=0, max_value=total), label="delivered_before"
+        )
+        # The gap FETCH answers everything from the resume point (inclusive
+        # overlap) up to some point, in arbitrary order with duplicates.
+        fetch_end = pre.draw(
+            st.integers(min_value=delivered_before, max_value=total), label="fetch_end"
+        )
+        fetch_start = max(0, delivered_before - 1)
+        fetch_groups = pre.draw(
+            st.permutations(groups[fetch_start:fetch_end]), label="fetch_order"
+        )
+        # The live stream from the new parent: everything past the fetch,
+        # plus reordered duplicates of recovered/pre-failure territory.
+        live_tail = groups[fetch_end:]
+        duplicates = pre.draw(
+            st.lists(st.sampled_from(groups[:fetch_end] or [2]), max_size=8),
+            label="duplicates",
+        ) if fetch_end else []
+        live_groups = pre.draw(
+            st.permutations(live_tail + duplicates), label="live_order"
+        )
+
+        subscriber, track, delivered = self._track_harness()
+        for group in groups[:delivered_before]:
+            subscriber.deliver(track, self._obj(group))
+        assert delivered == groups[:delivered_before]
+
+        # Failure: the buffer arms, live objects are intercepted while the
+        # gap FETCH is outstanding.
+        track.recovery.arm()
+        for group in live_groups:
+            subscriber.deliver(track, self._obj(group))
+        assert delivered == groups[:delivered_before], "armed buffer holds the live stream"
+
+        class _Fetch:
+            succeeded = True
+            objects = [self._obj(group) for group in fetch_groups]
+
+        subscriber.finish_gap_fetch(track, _Fetch())
+        assert delivered == groups, (
+            "gapless, duplicate-free, in publish order across the failure"
+        )
+        assert not track.recovery.active and track.recovery.buffered == []
+        assert track.delivered == total
+
+
+class TestCloseDuringSwitchRace:
+    """A session closed mid-switch must not strand or lose the recovery gap."""
+
+    def _scene_with_inflight_recovery(self):
+        """Edge-1 mid-recovery: armed buffer, gap FETCH in flight, a live
+        object buffered, and a genuine gap object (group 4) only the FETCH
+        can deliver."""
+        from repro.netsim.link import LinkConfig
+
+        spec = RelayTreeSpec.cdn(
+            mid_relays=3, edge_per_mid=1, metro_link=LinkConfig(delay=0.080)
+        )
+        simulator, _, publisher, tree = build_scene(spec)
+        tree.attach_subscribers(3)
+        received, _ = subscribe_recording(tree)
+        simulator.run(until=simulator.now + 5.0)
+        push_groups(simulator, publisher, [2, 3])
+        edge1 = tree.tier("edge")[1]
+        tree.kill_relay(tree.tier("mid")[1])
+        kill_at = simulator.now
+        # Gap object: forwarded by the new parent before edge-1's SUBSCRIBE
+        # lands, so only the recovery FETCH can deliver it.
+        publisher.push(MoqtObject(group_id=4, object_id=0, payload=b"v4"))
+        simulator.run(until=kill_at + 0.42)
+        # Live object: arrives while the FETCH is outstanding -> buffered.
+        publisher.push(MoqtObject(group_id=5, object_id=0, payload=b"v5"))
+        simulator.run(until=kill_at + 0.55)
+        upstream = edge1.relay.upstream_session
+        assert any(f.state == "pending" for f in upstream._fetches.values()), (
+            "recovery FETCH still in flight"
+        )
+        track = edge1.relay.tracks()[TRACK]
+        assert track.recovery.active and track.recovery.buffered
+        return simulator, publisher, tree, edge1, received, upstream
+
+    def test_close_then_switch_refetches_the_gap(self):
+        simulator, publisher, tree, edge1, received, upstream = (
+            self._scene_with_inflight_recovery()
+        )
+        # The race: the uplink session closes while the gap FETCH is in
+        # flight.  The armed buffer must be carried, not flushed — flushing
+        # would advance the dedupe high-water mark past the unrecovered gap.
+        upstream.close("operator close mid-recovery")
+        simulator.run(until=simulator.now + 1.0)
+        edge1.relay.switch_upstream(tree.tier("mid")[2].address, recover=True)
+        push_groups(simulator, publisher, [6])
+        simulator.run(until=simulator.now + 5.0)
+        behind = [sub.index for sub in tree.subscribers if sub.leaf is edge1]
+        for index in behind:
+            assert received[index] == [2, 3, 4, 5, 6], "gap 4 recovered after the race"
+
+    def test_close_then_fresh_subscriber_refetches_the_gap(self):
+        # Same race, but recovery is re-entered by the next downstream
+        # SUBSCRIBE instead of an explicit switch: the first subscriber for
+        # a track whose carried buffer is still armed must go through the
+        # recovery path, not a plain re-subscribe.
+        simulator, publisher, tree, edge1, received, upstream = (
+            self._scene_with_inflight_recovery()
+        )
+        upstream.close("operator close mid-recovery")
+        simulator.run(until=simulator.now + 1.0)
+        track = edge1.relay.tracks()[TRACK]
+        assert track.recovery.active, "buffer carried across the close"
+        assert track.upstream_subscription is None
+        # Re-point the uplink without recovery side effects, then let a new
+        # downstream SUBSCRIBE on the same leaf re-establish the chain.
+        edge1.relay.upstream_address = tree.tier("mid")[2].address
+        behind = [sub for sub in tree.subscribers if sub.leaf is edge1]
+        seen = []
+        behind[0].session.subscribe(TRACK, on_object=lambda obj: seen.append(obj.group_id))
+        push_groups(simulator, publisher, [6])
+        simulator.run(until=simulator.now + 5.0)
+        for subscriber in behind:
+            assert received[subscriber.index] == [2, 3, 4, 5, 6], (
+                "gap healed by the fresh subscribe"
+            )
+        assert not track.recovery.active
+
+    def test_subscriber_reattach_after_failed_gap_fetch_keeps_order(self):
+        # Subscriber-side variant: a pending gap FETCH dies with its session
+        # when the subscriber's leaf is killed again.  The buffered live
+        # objects must not be released ahead of the next re-attach's FETCH,
+        # or the lost gap would be skipped forever.
+        from repro.netsim.link import LinkConfig
+
+        spec = RelayTreeSpec.cdn(
+            mid_relays=1, edge_per_mid=3, metro_link=LinkConfig(delay=0.010),
+            access_link=LinkConfig(delay=0.080),
+        )
+        simulator, _, publisher, tree = build_scene(spec)
+        tree.attach_subscribers(3)
+        received, _ = subscribe_recording(tree)
+        simulator.run(until=simulator.now + 5.0)
+        push_groups(simulator, publisher, [2, 3])
+        victim = tree.subscribers[0]
+        first_leaf = victim.leaf
+        tree.kill_relay(first_leaf)
+        kill_at = simulator.now
+        publisher.push(MoqtObject(group_id=4, object_id=0, payload=b"v4"))
+        simulator.run(until=kill_at + 0.42)
+        publisher.push(MoqtObject(group_id=5, object_id=0, payload=b"v5"))
+        simulator.run(until=kill_at + 0.55)
+        # Second kill while the victim's gap FETCH is still in flight.
+        tree.kill_relay(victim.leaf)
+        push_groups(simulator, publisher, [6])
+        simulator.run(until=simulator.now + 10.0)
+        assert received[victim.index] == [2, 3, 4, 5, 6], received[victim.index]
+
+
+class TestInBandDetection:
+    """Silent crashes recovered purely through QUIC liveness reports."""
+
+    def _detection_scene(self):
+        from repro.quic.connection import ConnectionConfig
+        from repro.relaynet.topology import RelayTopology
+        from repro.moqt.relay import MOQT_ALPN
+
+        simulator = Simulator(seed=31)
+        network = Network(simulator)
+        publisher = build_origin(network)
+        topology = RelayTopology(
+            network,
+            Address(ORIGIN, ORIGIN_PORT),
+            RelayTreeSpec.cdn(mid_relays=2, edge_per_mid=2),
+            uplink_connection=ConnectionConfig(
+                alpn_protocols=(MOQT_ALPN,), keepalive_interval=0.5
+            ),
+            subscriber_connection=ConnectionConfig(
+                alpn_protocols=(MOQT_ALPN,), idle_timeout=1.5
+            ),
+        )
+        topology.attach_subscribers(8)
+        received = {sub.index: [] for sub in topology.subscribers}
+        topology.subscribe_all(
+            TRACK, on_object=lambda sub, obj: received[sub.index].append(obj.group_id)
+        )
+        simulator.run(until=simulator.now + 1.0)
+        return simulator, publisher, topology, received
+
+    def test_crash_relay_is_silent_until_reported(self):
+        simulator, publisher, topology, received = self._detection_scene()
+        push_groups(simulator, publisher, [2])
+        victim = topology.tier("mid")[1]
+        topology.crash_relay(victim)
+        assert victim.alive, "the controller does not know yet"
+        assert topology.events == []
+        with pytest.raises(ValueError):
+            topology.crash_relay(victim)  # already crashed
+
+    def test_mid_crash_detected_via_pto_suspect_and_recovered(self):
+        simulator, publisher, topology, received = self._detection_scene()
+        push_groups(simulator, publisher, [2, 3])
+        victim = topology.tier("mid")[1]
+        crashed_at = simulator.now
+        topology.crash_relay(victim)
+        push_groups(simulator, publisher, [4, 5, 6])
+        simulator.run(until=simulator.now + 0.5)
+
+        assert len(topology.events) == 1
+        event = topology.events[0]
+        assert event.cause == "detected"
+        assert event.detected_via == "pto-suspect"
+        assert event.node == victim.host.address
+        assert not victim.alive
+        assert event.detection_latency is not None
+        assert 0 < event.detection_latency < 1.0
+        assert event.complete
+        assert all(groups == [2, 3, 4, 5, 6] for groups in received.values())
+        orphans = {record.name for record in event.orphans("relay")}
+        assert orphans == {"relay-edge-1", "relay-edge-3"}
+
+    def test_edge_crash_detected_via_subscriber_idle_timeout(self):
+        simulator, publisher, topology, received = self._detection_scene()
+        push_groups(simulator, publisher, [2, 3])
+        victim = topology.tier("edge")[0]
+        orphaned = [sub for sub in topology.subscribers if sub.leaf is victim]
+        idle_deadline = orphaned[0].session.connection.idle_deadline
+        crashed_at = simulator.now
+        topology.crash_relay(victim)
+        push_groups(simulator, publisher, [4, 5, 6, 7, 8, 9])
+        simulator.run(until=simulator.now + 0.6)
+
+        assert len(topology.events) == 1
+        event = topology.events[0]
+        assert event.cause == "detected" and event.detected_via == "idle-timeout"
+        assert event.detection_latency == pytest.approx(idle_deadline - crashed_at)
+        assert event.complete
+        for subscriber in orphaned:
+            assert subscriber.leaf is not victim and subscriber.leaf.alive
+            assert received[subscriber.index] == [2, 3, 4, 5, 6, 7, 8, 9]
+
+    def test_pending_subscribe_is_transplanted_across_a_silent_crash(self):
+        # A SUBSCRIBE caught between the downstream request and the upstream
+        # answer when the parent silently dies must be re-issued through the
+        # new parent and answered ok — not errored back (ROADMAP follow-on).
+        from repro.netsim.link import LinkConfig
+        from repro.quic.connection import ConnectionConfig
+        from repro.relaynet.topology import RelayTopology
+        from repro.moqt.relay import MOQT_ALPN
+
+        simulator = Simulator(seed=37)
+        network = Network(simulator)
+        publisher = build_origin(network)
+        topology = RelayTopology(
+            network,
+            Address(ORIGIN, ORIGIN_PORT),
+            RelayTreeSpec.cdn(
+                mid_relays=2, edge_per_mid=1, metro_link=LinkConfig(delay=0.040)
+            ),
+            uplink_connection=ConnectionConfig(
+                alpn_protocols=(MOQT_ALPN,), keepalive_interval=0.25
+            ),
+        )
+        # Warm the uplink transports (keepalives running, RTT estimated)
+        # without subscribing anything yet.
+        (warm,) = topology.attach_subscribers(1)
+        simulator.run(until=simulator.now + 2.0)
+        # Subscribe through edge-1 and crash its parent before the deferred
+        # upstream SUBSCRIBE can be answered (metro RTT is 80 ms).
+        (late,) = topology.attach_subscribers(1)
+        assert late.leaf.parent is topology.tier("mid")[1]
+        simulator.run(until=simulator.now + 1.0)
+        states = []
+        late.session.subscribe(TRACK, on_response=lambda s: states.append(s.state))
+        simulator.run(until=simulator.now + 0.05)  # request reached the edge relay
+        track = late.leaf.relay.tracks()[TRACK]
+        assert track.awaiting_upstream, "upstream answer still outstanding"
+        topology.crash_relay(late.leaf.parent)
+        simulator.run(until=simulator.now + 5.0)
+        assert states == ["active"], "transplanted through the new parent, not errored"
+        assert len(topology.events) == 1 and topology.events[0].cause == "detected"
+
+    def test_report_failure_is_idempotent_and_origin_orphans_are_ignored(self):
+        simulator, publisher, topology, received = self._detection_scene()
+        push_groups(simulator, publisher, [2])
+        victim = topology.tier("mid")[1]
+        topology.crash_relay(victim)
+        first = topology.report_failure(victim, via="pto-suspect")
+        second = topology.report_failure(victim, via="idle-timeout")
+        assert first is not None and second is first
+        assert first.detected_via == "pto-suspect", "first reporter wins"
+        assert topology.events == [first]
+        # A liveness signal from a relay hanging directly off the origin has
+        # no parent to fail away from: the wired handler must no-op.
+        mid0 = topology.tier("mid")[0]
+        topology._on_relay_uplink_dying(mid0.relay, "pto-suspect")
+        assert topology.events == [first]
+        assert mid0.alive
 
 
 class TestChurnExperimentAndModel:
