@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.fanout import FanoutModel, fanout_model, relative_deviation
-from repro.moqt.datastream import encode_subgroup_object
+from repro.moqt.datastream import encode_subgroup_object, encode_subgroup_stream_chunk
 from repro.moqt.objectmodel import MoqtObject, TrackState
 from repro.moqt.relay import MOQT_ALPN
 from repro.moqt.session import FetchResult, MoqtSession, SubscribeResult
@@ -49,10 +49,13 @@ UPDATE_INTERVAL = 0.25
 class OriginPublisher:
     """Origin publisher delegate serving one DNS track to the top tier."""
 
-    def __init__(self) -> None:
+    def __init__(self, network: Network | None = None) -> None:
         self.state = TrackState(TRACK)
         self.state.publish(MoqtObject(group_id=1, object_id=0, payload=b"v1"))
         self.sessions: list[MoqtSession] = []
+        #: The network the origin host lives on, when known — enables the
+        #: batched, chunk-cached fan-out fast path in :meth:`push`.
+        self.network = network
 
     def handle_subscribe(self, session, message):
         return SubscribeResult(ok=True, largest=self.state.largest)
@@ -66,11 +69,27 @@ class OriginPublisher:
         """Record and push one update to every direct (top-tier) subscriber."""
         self.state.publish(obj)
         cached_encoding = encode_subgroup_object(obj)
-        for session in self.sessions:
-            if session.closed:
-                continue
-            for subscription in session.publisher_subscriptions():
-                session.publish(subscription, obj, cached_encoding)
+        chunk_by_alias: dict[int, bytes] = {}
+        network = self.network
+        if network is not None:
+            network.begin_batch()
+        try:
+            for session in self.sessions:
+                if session.closed:
+                    continue
+                for subscription in session.publisher_subscriptions():
+                    if session.config.use_datagrams:
+                        session.publish(subscription, obj, cached_encoding)
+                        continue
+                    alias = subscription.track_alias
+                    chunk = chunk_by_alias.get(alias)
+                    if chunk is None:
+                        chunk = encode_subgroup_stream_chunk(alias, obj, cached_encoding)
+                        chunk_by_alias[alias] = chunk
+                    session.publish_preencoded(subscription, obj, chunk)
+        finally:
+            if network is not None:
+                network.end_batch()
 
     @property
     def objects_sent(self) -> int:
@@ -82,7 +101,9 @@ def build_origin(network: Network, publisher: OriginPublisher | None = None) -> 
     """Create the origin host with a MoQT server wired to ``publisher``."""
     host = network.add_host(ORIGIN_HOST)
     if publisher is None:
-        publisher = OriginPublisher()
+        publisher = OriginPublisher(network)
+    elif publisher.network is None:
+        publisher.network = network
     QuicEndpoint(
         host,
         port=ORIGIN_PORT,
@@ -105,10 +126,10 @@ def _run_tree(
     updates: int,
     payload_size: int,
     seed: int,
-) -> tuple[RelayNetStats, int, int]:
+) -> tuple[RelayNetStats, int, int, int]:
     """Build the tree, push ``updates`` objects, return the update-window
-    statistics delta, the origin's pushed-object count and the number of
-    objects delivered to subscribers."""
+    statistics delta, the origin's pushed-object count, the number of
+    objects delivered to subscribers and the total events scheduled."""
     simulator = Simulator(seed=seed)
     # The experiment reads link statistics, never traces; a null recorder
     # removes two trace records per datagram from the fan-out hot path.
@@ -134,7 +155,12 @@ def _run_tree(
         simulator.run(until=simulator.now + UPDATE_INTERVAL)
     simulator.run(until=simulator.now + 3.0)
     delta = RelayNetStats.collect(tree).delta(before)
-    return delta, publisher.objects_sent - origin_before, delivered[0] - delivered_before
+    return (
+        delta,
+        publisher.objects_sent - origin_before,
+        delivered[0] - delivered_before,
+        simulator.events_scheduled,
+    )
 
 
 def calibrate_bytes_per_update(payload_size: int, updates: int = 4, seed: int = 17) -> float:
@@ -145,7 +171,7 @@ def calibrate_bytes_per_update(payload_size: int, updates: int = 4, seed: int = 
     divided by the update count is the per-update wire size (payload plus
     subgroup-stream and QUIC framing) the fan-out model scales up.
     """
-    delta, _, delivered = _run_tree(
+    delta, _, delivered, _ = _run_tree(
         RelayTreeSpec.star(relays=1), 1, updates, payload_size, seed
     )
     if delivered != updates:
@@ -165,6 +191,9 @@ class FanoutSample:
     measured_origin_objects: int
     delivered_objects: int
     model: FanoutModel
+    #: Total simulator events scheduled over the whole run (setup included) —
+    #: the quantity link-batch fan-out keeps from growing with subscribers.
+    events_scheduled: int = 0
 
     @property
     def max_tier_byte_deviation(self) -> float:
@@ -258,7 +287,7 @@ def run_relay_fanout(
     samples: list[FanoutSample] = []
     for count in subscriber_counts:
         spec = RelayTreeSpec.cdn(mid_relays=mid_relays, edge_per_mid=edge_per_mid)
-        delta, origin_objects, delivered = _run_tree(
+        delta, origin_objects, delivered, events_scheduled = _run_tree(
             spec, count, updates, payload_size, seed
         )
         measured_bytes = delta.tier_uplink_bytes() + (delta.subscriber_link_bytes,)
@@ -276,6 +305,7 @@ def run_relay_fanout(
                 measured_origin_objects=origin_objects,
                 delivered_objects=delivered,
                 model=model,
+                events_scheduled=events_scheduled,
             )
         )
     return RelayFanoutResult(

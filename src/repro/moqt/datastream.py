@@ -227,6 +227,63 @@ def decode_object_datagram(data: bytes) -> tuple[int, MoqtObject]:
     return track_alias, obj
 
 
+#: Memo of completely received one-shot data streams, keyed by wire bytes.
+#: A relay fanning one object to N subscribers sends N byte-identical stream
+#: payloads (same track alias, same body); each receiving session would
+#: otherwise re-parse the same bytes.  Values are immutable (header plus a
+#: tuple of frozen objects), so sharing them across sessions is safe.  The
+#: cache is a plain dict with epoch eviction: when full it is cleared, which
+#: is O(1) amortised and keeps the working set (the last few distinct
+#: objects in flight) hot.
+_COMPLETE_STREAM_CACHE: dict[
+    bytes,
+    tuple[SubgroupStreamHeader | FetchStreamHeader | None, tuple[MoqtObject, ...]],
+] = {}
+_COMPLETE_STREAM_CACHE_MAX = 512
+
+
+def decode_complete_datastream(
+    data: bytes,
+) -> tuple[SubgroupStreamHeader | FetchStreamHeader | None, tuple[MoqtObject, ...]]:
+    """Decode a data stream that arrived whole (single chunk with FIN).
+
+    Returns ``(header, objects)``; a stream whose header cannot be parsed
+    yields ``(None, ())``, and trailing bytes that do not form a complete
+    object are dropped — exactly what :class:`DataStreamParser` does when fed
+    the same bytes in one call.  Results are memoised on the wire bytes so
+    the fan-out receive path decodes each distinct stream payload once per
+    process instead of once per subscriber.
+    """
+    if type(data) is not bytes:
+        data = bytes(data)
+    cached = _COMPLETE_STREAM_CACHE.get(data)
+    if cached is not None:
+        return cached
+    header: SubgroupStreamHeader | FetchStreamHeader | None = None
+    objects: list[MoqtObject] = []
+    reader = VarintReader(data)
+    try:
+        stream_type = reader.read_varint()
+        if stream_type == DataStreamType.SUBGROUP_HEADER:
+            header = SubgroupStreamHeader.decode(reader)
+            while not reader.at_end():
+                objects.append(decode_subgroup_object(reader, header))
+        elif stream_type == DataStreamType.FETCH_HEADER:
+            header = FetchStreamHeader.decode(reader)
+            while not reader.at_end():
+                objects.append(decode_fetch_object(reader))
+        else:
+            raise ProtocolViolation(f"unknown data stream type {stream_type:#x}")
+    except VarintError:
+        pass  # truncated trailing element: keep what parsed completely
+    result = (header, tuple(objects))
+    cache = _COMPLETE_STREAM_CACHE
+    if len(cache) >= _COMPLETE_STREAM_CACHE_MAX:
+        cache.clear()
+    cache[data] = result
+    return result
+
+
 class DataStreamParser:
     """Incremental parser for one incoming unidirectional data stream.
 

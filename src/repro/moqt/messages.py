@@ -568,6 +568,16 @@ _DECODERS: dict[int, type[ControlMessage]] = {
 }
 
 
+#: Memo of decoded control messages keyed by ``(type, payload bytes)``.
+#: Large subscriber populations exchange byte-identical CLIENT_SETUP /
+#: SERVER_SETUP / SUBSCRIBE messages (10⁵ copies of the same SUBSCRIBE in the
+#: macro runs); messages are frozen dataclasses, so one decoded instance can
+#: serve every session — which also interns the embedded track names for
+#: free.  Epoch eviction (clear when full) keeps the dict bounded.
+_CONTROL_MESSAGE_CACHE: dict[tuple[int, bytes], "ControlMessage"] = {}
+_CONTROL_MESSAGE_CACHE_MAX = 512
+
+
 def decode_control_message(data: bytes, offset: int = 0) -> tuple[ControlMessage, int]:
     """Decode one control message; returns ``(message, next_offset)``.
 
@@ -581,10 +591,16 @@ def decode_control_message(data: bytes, offset: int = 0) -> tuple[ControlMessage
         payload = reader.read_bytes(length)
     except Exception as error:
         raise NeedMoreData(str(error)) from None
-    decoder = _DECODERS.get(message_type)
-    if decoder is None:
-        raise ProtocolViolation(f"unknown control message type {message_type:#x}")
-    message = decoder.decode_payload(VarintReader(payload))
+    key = (message_type, payload)
+    message = _CONTROL_MESSAGE_CACHE.get(key)
+    if message is None:
+        decoder = _DECODERS.get(message_type)
+        if decoder is None:
+            raise ProtocolViolation(f"unknown control message type {message_type:#x}")
+        message = decoder.decode_payload(VarintReader(payload))
+        if len(_CONTROL_MESSAGE_CACHE) >= _CONTROL_MESSAGE_CACHE_MAX:
+            _CONTROL_MESSAGE_CACHE.clear()
+        _CONTROL_MESSAGE_CACHE[key] = message
     return message, reader.offset
 
 
@@ -594,6 +610,8 @@ class NeedMoreData(Exception):
 
 class ControlStreamParser:
     """Reassembles control messages from stream data chunks."""
+
+    __slots__ = ("_buffer",)
 
     def __init__(self) -> None:
         self._buffer = bytearray()

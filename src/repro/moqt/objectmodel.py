@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 
 
 class ObjectStatus(enum.IntEnum):
@@ -46,9 +47,11 @@ class MoqtObject:
     status: ObjectStatus = ObjectStatus.NORMAL
     extensions: bytes = b""
 
-    @property
+    @cached_property
     def location(self) -> Location:
-        """The object's location within its track."""
+        """The object's location within its track (cached: the delivery and
+        dedupe paths read it several times per hop, and a fanned-out object
+        is handled by thousands of receivers)."""
         return Location(self.group_id, self.object_id)
 
     @property

@@ -30,7 +30,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.moqt.datastream import encode_object_datagram_body, encode_subgroup_object
+from repro.moqt.datastream import (
+    encode_object_datagram_body,
+    encode_subgroup_object,
+    encode_subgroup_stream_chunk,
+)
 from repro.moqt.errors import FetchErrorCode, SubscribeErrorCode
 from repro.moqt.messages import Fetch, FetchType, Subscribe
 from repro.moqt.objectmodel import Location, MoqtObject, TrackState
@@ -38,6 +42,7 @@ from repro.moqt.session import (
     FetchResult,
     MoqtSession,
     MoqtSessionConfig,
+    PublisherSubscription,
     SubscribeResult,
     Subscription,
 )
@@ -112,12 +117,18 @@ class RecoveryBuffer:
             deliver(obj)
 
 
-@dataclass
+@dataclass(slots=True)
 class _DownstreamSubscriber:
     """One downstream subscription attached to a relayed track."""
 
     session: MoqtSession
     request_id: int
+    #: The session's accepted publisher-side subscription, resolved lazily on
+    #: first forward so the fan-out loop skips one dict lookup per subscriber
+    #: per object.  Lives exactly as long as this entry: unsubscribes and
+    #: session closes remove the whole ``_DownstreamSubscriber`` from the
+    #: track, so the cache can never outlive the subscription it mirrors.
+    publisher_subscription: "PublisherSubscription | None" = None
 
 
 @dataclass
@@ -698,25 +709,57 @@ class MoqtRelay:
         # Encode-once fan-out: the object body does not depend on the
         # receiving subscription, so it is serialised a single time and the
         # cached bytes ride every downstream publish (§3's fan-out efficiency
-        # argument, applied to CPU rather than links).
-        if self.session_config.use_datagrams:
+        # argument, applied to CPU rather than links).  In stream mode the
+        # full subgroup chunk (header + body) is additionally cached per track
+        # alias — subscribers overwhelmingly share one alias, so the whole
+        # stream payload is typically encoded once for the entire tier — and
+        # the per-subscriber sends are collected into one link-batch event by
+        # the network's batching region.
+        use_datagrams = self.session_config.use_datagrams
+        if use_datagrams:
             cached_encoding = encode_object_datagram_body(obj)
+            chunk_by_alias = None
         else:
             cached_encoding = encode_subgroup_object(obj)
-        for subscriber in list(track.downstream):
-            if subscriber.session.closed:
-                track.downstream.remove(subscriber)
-                self._drop_index_entry(subscriber.session, subscriber.request_id)
-                self._teardown_upstream_if_idle(track)
-                continue
-            publisher_subscription = subscriber.session.publisher_subscription(
-                subscriber.request_id
-            )
-            if publisher_subscription is None:
-                continue
-            subscriber.session.publish(publisher_subscription, obj, cached_encoding)
-            track.objects_forwarded += 1
-            self.statistics.objects_forwarded += 1
+            chunk_by_alias = {}
+        network = self.host.network
+        batching = network is not None and hasattr(network, "begin_batch")
+        if batching:
+            network.begin_batch()
+        try:
+            for subscriber in list(track.downstream):
+                session = subscriber.session
+                if session.closed:
+                    track.downstream.remove(subscriber)
+                    self._drop_index_entry(session, subscriber.request_id)
+                    self._teardown_upstream_if_idle(track)
+                    continue
+                publisher_subscription = subscriber.publisher_subscription
+                if publisher_subscription is None:
+                    publisher_subscription = session.publisher_subscription(
+                        subscriber.request_id
+                    )
+                    if publisher_subscription is None:
+                        continue
+                    # Intern the track name: every downstream SUBSCRIBE decoded
+                    # its own FullTrackName; pointing the retained state at the
+                    # relay's canonical instance shares one across the tier.
+                    publisher_subscription.full_track_name = track.full_track_name
+                    subscriber.publisher_subscription = publisher_subscription
+                if use_datagrams:
+                    session.publish(publisher_subscription, obj, cached_encoding)
+                else:
+                    alias = publisher_subscription.track_alias
+                    chunk = chunk_by_alias.get(alias)
+                    if chunk is None:
+                        chunk = encode_subgroup_stream_chunk(alias, obj, cached_encoding)
+                        chunk_by_alias[alias] = chunk
+                    session.publish_preencoded(publisher_subscription, obj, chunk)
+                track.objects_forwarded += 1
+                self.statistics.objects_forwarded += 1
+        finally:
+            if batching:
+                network.end_batch()
 
     # -------------------------------------------------------------------- fetch
     def _handle_downstream_fetch(

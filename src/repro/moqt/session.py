@@ -28,6 +28,7 @@ from repro.moqt.datastream import (
     DataStreamParser,
     FetchStreamHeader,
     SubgroupStreamHeader,
+    decode_complete_datastream,
     encode_fetch_object,
     encode_object_datagram,
     encode_subgroup_stream_chunk,
@@ -137,7 +138,7 @@ class PublisherDelegate(Protocol):
     # propagate the teardown upstream (§5.1 state clean-up).
 
 
-@dataclass
+@dataclass(slots=True)
 class Subscription:
     """Subscriber-side state of one subscription."""
 
@@ -163,7 +164,7 @@ class Subscription:
         return self.state == "active"
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchRequest:
     """Subscriber-side state of one fetch."""
 
@@ -188,7 +189,7 @@ class FetchRequest:
         return self.state == "complete"
 
 
-@dataclass
+@dataclass(slots=True)
 class PublisherSubscription:
     """Publisher-side state of a downstream subscription."""
 
@@ -201,7 +202,7 @@ class PublisherSubscription:
     objects_sent: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class SessionStatistics:
     """Counters kept by a session."""
 
@@ -218,7 +219,42 @@ class SessionStatistics:
 
 
 class MoqtSession:
-    """One endpoint of a MoQT session over a QUIC connection."""
+    """One endpoint of a MoQT session over a QUIC connection.
+
+    Slotted: the macro-scale runs hold one session per subscriber per side,
+    so per-instance dict overhead is paid 2×10⁵ times at 100k subscribers.
+    """
+
+    __slots__ = (
+        "connection",
+        "is_client",
+        "config",
+        "publisher_delegate",
+        "on_ready",
+        "on_closed",
+        "on_liveness",
+        "statistics",
+        "_simulator",
+        "ready",
+        "ready_at",
+        "created_at",
+        "selected_version",
+        "goaway_uri",
+        "closed",
+        "_control_parser",
+        "_control_stream",
+        "_control_stream_id",
+        "_next_request_id",
+        "_next_track_alias",
+        "_subscriptions",
+        "_subscriptions_by_alias",
+        "_fetches",
+        "_pending_until_ready",
+        "_publisher_subscriptions",
+        "_pending_incoming_subscribes",
+        "_pending_incoming_fetches",
+        "_stream_parsers",
+    )
 
     def __init__(
         self,
@@ -498,6 +534,29 @@ class MoqtSession:
             fin=True,
         )
 
+    def publish_preencoded(
+        self, subscription: PublisherSubscription, obj: MoqtObject, chunk: bytes
+    ) -> None:
+        """Push one object whose subgroup-stream chunk is already encoded.
+
+        The fan-out fast path under :meth:`publish`: ``chunk`` is the complete
+        stream payload from
+        :func:`~repro.moqt.datastream.encode_subgroup_stream_chunk` for this
+        subscription's track alias, so relays fanning one object to thousands
+        of same-alias subscribers serialise it once and every per-subscriber
+        send is a QUIC-header patch into a pooled buffer
+        (:meth:`~repro.quic.connection.QuicConnection.send_encoded_stream`).
+        Wire bytes and statistics are identical to :meth:`publish`; sessions
+        in datagram mode must keep using :meth:`publish`.
+        """
+        self._require_open()
+        if not subscription.forward:
+            return
+        self.statistics.objects_sent += 1
+        self.statistics.object_bytes_sent += obj.size
+        subscription.objects_sent += 1
+        self.connection.send_encoded_stream(chunk)
+
     def _send_fetch_objects(self, request_id: int, objects: list[MoqtObject]) -> None:
         stream = self.connection.open_stream(StreamDirection.UNIDIRECTIONAL)
         payload = FetchStreamHeader(request_id=request_id).encode()
@@ -578,6 +637,21 @@ class MoqtSession:
             return
         parser = self._stream_parsers.get(stream_id)
         if parser is None:
+            if fin:
+                # The stream arrived whole in its first chunk — the fan-out
+                # data path.  Decode through the process-wide memo (sibling
+                # subscribers receive byte-identical payloads) and skip the
+                # per-stream parser state entirely.
+                header, objects = decode_complete_datastream(data)
+                if header is None:
+                    return
+                if isinstance(header, SubgroupStreamHeader):
+                    track_alias = header.track_alias
+                    for obj in objects:
+                        self._deliver_subscribed_object(track_alias, obj)
+                else:
+                    self._deliver_fetch_objects(header.request_id, list(objects), True)
+                return
             parser = DataStreamParser()
             self._stream_parsers[stream_id] = parser
         objects = parser.feed(data, fin)

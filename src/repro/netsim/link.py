@@ -14,10 +14,26 @@ traffic experiments read back.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Protocol
 
 from repro.netsim.packet import Datagram
 from repro.netsim.simulator import Simulator
+
+
+class BatchSink(Protocol):
+    """Collects datagrams sent during a code region for batched transmission.
+
+    Implemented by :class:`~repro.netsim.network.Network`; passed to
+    :meth:`Link.transmit_many` so delivery callbacks that send replies (ACKs,
+    handshake answers) feed a new batch instead of scheduling per-datagram
+    events.
+    """
+
+    def begin_batch(self) -> None:
+        """Start (or nest into) a batching region."""
+
+    def end_batch(self) -> None:
+        """Leave the region; the outermost exit flushes collected datagrams."""
 
 
 @dataclass(frozen=True)
@@ -48,7 +64,7 @@ class LinkConfig:
             raise ValueError(f"loss_rate must be in [0, 1): {self.loss_rate}")
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkStatistics:
     """Counters accumulated by a link."""
 
@@ -83,6 +99,18 @@ class Link:
         configured delays.
     """
 
+    __slots__ = (
+        "_simulator",
+        "_config",
+        "_deliver",
+        "_busy_until",
+        "_delay",
+        "_bandwidth",
+        "_loss_rate",
+        "batchable",
+        "statistics",
+    )
+
     def __init__(
         self,
         simulator: Simulator,
@@ -98,6 +126,12 @@ class Link:
         self._delay = config.delay
         self._bandwidth = config.bandwidth
         self._loss_rate = config.loss_rate
+        #: Whether this link qualifies for batched transmission: without a
+        #: bandwidth limit or loss there is no FIFO serialisation state and no
+        #: RNG draw per datagram, so N same-delay transmissions collapse into
+        #: one heap event without changing delivery times, order or the
+        #: seeded random stream.
+        self.batchable = config.bandwidth is None and config.loss_rate == 0.0
         self.statistics = LinkStatistics()
 
     @property
@@ -120,6 +154,7 @@ class Link:
         if self._loss_rate > 0.0:
             if self._simulator.rng.random() < self._loss_rate:
                 statistics.datagrams_dropped += 1
+                datagram.release()  # pooled shells recycle on drop, too
                 return
         start = max(self._simulator.now, self._busy_until)
         if self._bandwidth is not None:
@@ -137,6 +172,79 @@ class Link:
         statistics.datagrams_delivered += 1
         statistics.bytes_delivered += len(datagram.payload)
         self._deliver(datagram)
+
+    # -------------------------------------------------------------- batch form
+    @staticmethod
+    def transmit_many(
+        simulator: Simulator,
+        entries: list[tuple["Link", Datagram]],
+        batch_sink: "BatchSink | None" = None,
+    ) -> None:
+        """Send many (link, datagram) pairs, one heap event per delay value.
+
+        The batch form of :meth:`transmit` for fan-out: an edge relay pushing
+        one object to N subscribers over N same-configuration links schedules
+        a single event carrying the recipient list instead of N events.  Per-
+        recipient delivery order, delivery times and the seeded RNG stream
+        are preserved exactly **when every link is batchable** (no bandwidth
+        limit, no loss); entries over non-batchable links make the whole call
+        degrade to per-datagram :meth:`transmit` so the FIFO-serialisation
+        and loss semantics (including RNG draw order) cannot drift.
+
+        ``batch_sink`` (usually the owning :class:`~repro.netsim.network.Network`)
+        is re-entered around the delivery callbacks so that datagrams sent in
+        response — ACKs, handshake replies — are batched as well.
+        """
+        if not all(link.batchable for link, _ in entries):
+            for link, datagram in entries:
+                link.transmit(datagram)
+            return
+        Link._transmit_batched(simulator, entries, batch_sink)
+
+    @staticmethod
+    def _transmit_batched(
+        simulator: Simulator,
+        entries: list[tuple["Link", Datagram]],
+        batch_sink: "BatchSink | None",
+    ) -> None:
+        """:meth:`transmit_many` minus the batchability guard — for callers
+        (the network's batching region) that only ever collect batchable
+        links.
+
+        Entries are grouped by delay, preserving first-seen order.  Same-delay
+        entries share one event; different delays arrive at different
+        instants, so scheduling the groups in first-seen order keeps
+        (time, sequence) ordering identical to per-datagram transmission.
+        """
+        groups: dict[float, list[tuple[Link, Datagram]]] = {}
+        for entry in entries:
+            link = entry[0]
+            statistics = link.statistics
+            statistics.datagrams_sent += 1
+            statistics.bytes_sent += len(entry[1].payload)
+            group = groups.get(link._delay)
+            if group is None:
+                groups[link._delay] = group = []
+            group.append(entry)
+        now = simulator.now
+        for delay, group in groups.items():
+            simulator.call_at(now + delay, Link._arrive_many, group, batch_sink)
+
+    @staticmethod
+    def _arrive_many(
+        entries: list[tuple["Link", Datagram]], batch_sink: "BatchSink | None"
+    ) -> None:
+        if batch_sink is not None:
+            batch_sink.begin_batch()
+        try:
+            for link, datagram in entries:
+                statistics = link.statistics
+                statistics.datagrams_delivered += 1
+                statistics.bytes_delivered += len(datagram.payload)
+                link._deliver(datagram)
+        finally:
+            if batch_sink is not None:
+                batch_sink.end_batch()
 
 
 @dataclass

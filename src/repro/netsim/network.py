@@ -20,7 +20,7 @@ from typing import Iterable
 
 from repro.netsim.link import Link, LinkConfig
 from repro.netsim.node import Host
-from repro.netsim.packet import Datagram
+from repro.netsim.packet import Datagram, DatagramPool
 from repro.netsim.simulator import Simulator
 from repro.netsim.trace import TraceRecorder
 
@@ -43,6 +43,15 @@ class Network:
         # Keyed by (source, destination) host-address tuples: plain tuples
         # hash faster than any wrapper object on the per-datagram route path.
         self._links: dict[tuple[str, str], Link] = {}
+        #: Shared pool of datagram shells and send buffers; endpoints sending
+        #: heavy traffic (QUIC) draw from it so the steady-state fan-out path
+        #: recycles rather than allocates.
+        self.datagram_pool = DatagramPool()
+        #: Master switch for fan-out batching (the determinism canary runs
+        #: with it off to prove batched and unbatched delivery are identical).
+        self.batching_enabled = True
+        self._batch_depth = 0
+        self._batch: list[tuple[Link, Datagram]] = []
 
     # ------------------------------------------------------------------ hosts
     def add_host(self, address: str) -> Host:
@@ -135,6 +144,24 @@ class Network:
 
         return deliver
 
+    # -------------------------------------------------------------- batching
+    def begin_batch(self) -> None:
+        """Enter a batching region: direct-link datagrams sent over batchable
+        links are collected and flushed as link-batch events on the outermost
+        :meth:`end_batch` (see :meth:`Link.transmit_many`).  Regions nest; the
+        fan-out code paths (relay forwarding, bulk subscribe, batched arrival
+        processing) wrap their send loops in one."""
+        self._batch_depth += 1
+
+    def end_batch(self) -> None:
+        """Leave a batching region, flushing on the outermost exit."""
+        self._batch_depth -= 1
+        if self._batch_depth == 0 and self._batch:
+            entries, self._batch = self._batch, []
+            # route() only collects batchable links, so the guard in
+            # transmit_many would be a wasted O(n) scan here.
+            Link._transmit_batched(self.simulator, entries, self)
+
     # ---------------------------------------------------------------- routing
     def route(self, datagram: Datagram) -> None:
         """Route a datagram from its source host towards its destination."""
@@ -157,7 +184,10 @@ class Network:
             return
         link = self._links.get((source, destination))
         if link is not None:
-            link.transmit(datagram)
+            if self._batch_depth and link.batchable and self.batching_enabled:
+                self._batch.append((link, datagram))
+            else:
+                link.transmit(datagram)
             return
         path = self.shortest_path(source, destination)
         self._forward_along(path, 0, datagram)
@@ -187,6 +217,7 @@ class Network:
         link.statistics.bytes_sent += datagram.size
         if link.config.loss_rate > 0.0 and self.simulator.rng.random() < link.config.loss_rate:
             link.statistics.datagrams_dropped += 1
+            datagram.release()
             return
         if link.config.bandwidth is not None:
             serialisation = datagram.size * 8 / link.config.bandwidth
@@ -242,6 +273,11 @@ class Network:
                 size=len(datagram.payload),
             )
         self._hosts[destination].deliver(datagram)
+        # Pool-managed datagrams return to the pool once fully processed (the
+        # whole receive path ran synchronously above); consumers that keep the
+        # payload must have retained the datagram.  Plain datagrams ignore
+        # the call.
+        datagram.release()
 
     # ------------------------------------------------------------- statistics
     def total_link_statistics(self) -> dict[str, int]:

@@ -48,6 +48,8 @@ class Host:
         literal); purely symbolic.
     """
 
+    __slots__ = ("simulator", "address", "_ports", "_network", "_next_ephemeral")
+
     def __init__(self, simulator: Simulator, address: str) -> None:
         self.simulator = simulator
         self.address = address
@@ -63,6 +65,11 @@ class Host:
     def is_attached(self) -> bool:
         """Whether the host is attached to a network."""
         return self._network is not None
+
+    @property
+    def network(self) -> NetworkInterface | None:
+        """The network this host is attached to (None before attachment)."""
+        return self._network
 
     def bind(self, port: int, handler: PortHandler) -> Address:
         """Bind ``handler`` to ``port`` and return the resulting address."""

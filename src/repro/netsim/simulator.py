@@ -99,6 +99,10 @@ class Simulator:
         self._pending = 0
         #: Count of cancelled entries still sitting in the heap.
         self._dead_in_queue = 0
+        #: Number of times the heap has been compacted (cancelled entries
+        #: dropped and the queue re-heapified).  Compaction work was invisible
+        #: in the scheduler counters before this; the perf harness surfaces it.
+        self.compactions = 0
         self._running = False
         self.rng = random.Random(seed)
 
@@ -106,6 +110,16 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events still queued (O(1))."""
         return self._pending
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled (the sequence counter, O(1)).
+
+        Batched fan-out exists to keep this number from growing with the
+        subscriber population; the macro-benchmarks report it so a regression
+        back to one-event-per-datagram is visible in the JSON.
+        """
+        return self._sequence
 
     def _note_cancelled(self) -> None:
         self._pending -= 1
@@ -123,6 +137,7 @@ class Simulator:
         self._queue = [entry for entry in self._queue if not entry[2].cancelled]
         heapq.heapify(self._queue)
         self._dead_in_queue = 0
+        self.compactions += 1
 
     def call_at(self, when: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run at absolute virtual time ``when``."""

@@ -47,7 +47,7 @@ from repro.quic.frames import (
     StreamFrame,
 )
 from repro.quic.packet import Packet, PacketType
-from repro.quic.varint import append_varint
+from repro.quic.varint import append_varint, varint_size
 from repro.quic.stream import (
     QuicStream,
     StreamDirection,
@@ -98,7 +98,32 @@ class ConnectionConfig:
     initial_rtt: float = 0.1
 
 
-@dataclass
+class _EncodedStreamPacket:
+    """Retransmission record for a preassembled one-shot stream packet.
+
+    :meth:`QuicConnection.send_encoded_stream` serialises straight into a
+    pooled buffer, so nothing object-shaped survives the send for the loss
+    machinery to replay.  This record is the minimal substitute: it exposes
+    the ``packet_type`` / ``frames`` surface the retransmission and 0-RTT
+    requeue paths read, materialising the frame only if the packet is
+    actually lost.  ``chunk`` is the shared immutable stream payload, so N
+    subscribers' unacked packets reference one body instead of N copies.
+    """
+
+    __slots__ = ("stream_id", "chunk")
+
+    packet_type = PacketType.ONE_RTT
+
+    def __init__(self, stream_id: int, chunk: bytes) -> None:
+        self.stream_id = stream_id
+        self.chunk = chunk
+
+    @property
+    def frames(self) -> tuple[StreamFrame, ...]:
+        return (StreamFrame(stream_id=self.stream_id, offset=0, data=self.chunk, fin=True),)
+
+
+@dataclass(slots=True)
 class ConnectionStatistics:
     """Packet/byte counters of one connection."""
 
@@ -118,7 +143,56 @@ class QuicConnection:
     Instances are created by :class:`repro.quic.endpoint.QuicEndpoint` — via
     :meth:`~repro.quic.endpoint.QuicEndpoint.connect` on the client and
     automatically upon the first INITIAL packet on the server.
+
+    Slotted: macro-scale runs hold one connection per subscriber per side
+    (2×10⁵ instances at 100k subscribers), where per-instance ``__dict__``
+    overhead alone costs hundreds of megabytes.
     """
+
+    __slots__ = (
+        "_simulator",
+        "_send",
+        "_acquire_buffer",
+        "local_address",
+        "peer_address",
+        "connection_id",
+        "is_client",
+        "config",
+        "server_name",
+        "_ticket_store",
+        "_server_tls",
+        "statistics",
+        "handshake_complete",
+        "handshake_started_at",
+        "handshake_completed_at",
+        "negotiated_alpn",
+        "used_0rtt",
+        "early_data_accepted",
+        "on_handshake_complete",
+        "on_stream_data",
+        "on_datagram",
+        "on_closed",
+        "on_liveness",
+        "liveness",
+        "liveness_cause",
+        "suspected_at",
+        "dead_at",
+        "_streams",
+        "_finished_streams",
+        "_next_stream_sequence",
+        "_next_packet_number",
+        "_largest_acked",
+        "_unacked",
+        "_queued_app_frames",
+        "_smoothed_rtt",
+        "_sent_times",
+        "_consecutive_loss_timeouts",
+        "_loss_timer",
+        "_idle_timer",
+        "_keepalive_timer",
+        "closed",
+        "close_reason",
+    )
 
     def __init__(
         self,
@@ -136,6 +210,13 @@ class QuicConnection:
     ) -> None:
         self._simulator = simulator
         self._send = send_datagram
+        #: Installed by the endpoint when its host network provides a
+        #: :class:`~repro.netsim.packet.DatagramPool`: returns a recycled
+        #: ``bytearray`` to serialise a packet into.  Pooled packets are
+        #: handed to ``self._send`` as that bytearray (the endpoint recognises
+        #: the type and ships it zero-copy as a pool-managed datagram); when
+        #: absent, hot paths fall back to building plain ``bytes``.
+        self._acquire_buffer: Callable[[], bytearray] | None = None
         self.local_address = local_address
         self.peer_address = peer_address
         self.connection_id = connection_id
@@ -176,6 +257,13 @@ class QuicConnection:
 
         # Streams.
         self._streams: dict[int, QuicStream] = {}
+        #: IDs of peer-initiated one-shot streams already delivered whole (a
+        #: single offset-0 FIN frame).  The fan-out receive path completes
+        #: such streams without materialising a :class:`QuicStream`; the set
+        #: is what keeps a late retransmission of the same frame from being
+        #: delivered twice (the job ``receive_closed`` does for full stream
+        #: state).
+        self._finished_streams: set[int] = set()
         self._next_stream_sequence = {
             StreamDirection.BIDIRECTIONAL: 0,
             StreamDirection.UNIDIRECTIONAL: 0,
@@ -333,6 +421,61 @@ class QuicConnection:
         self.statistics.datagrams_sent += 1
         self._send_app_frames([DatagramFrame(bytes(data))], reliable=False)
 
+    def send_encoded_stream(self, chunk: bytes) -> int:
+        """Send ``chunk`` as a complete one-shot unidirectional stream.
+
+        The preassembled fan-out fast path: ``chunk`` is an already-encoded
+        stream payload (e.g. a MoQT subgroup chunk shared across subscribers),
+        and the packet around it is serialised directly into a pooled buffer —
+        header-patch-only per subscriber, wire-identical to
+        ``open_stream()`` + ``send_stream_data(..., fin=True)`` but with no
+        per-call :class:`QuicStream`, ``StreamFrame`` or ``Packet`` objects
+        and no intermediate payload copies.  Loss recovery is preserved: a
+        compact retransmission record keeps a reference to ``chunk`` (which
+        must therefore be immutable) until the packet is acknowledged.
+
+        Returns the stream ID used.
+        """
+        if self.closed:
+            raise QuicConnectionError(TransportErrorCode.PROTOCOL_VIOLATION, "connection closed")
+        if not self.handshake_complete:
+            # Rare (0-RTT / queued-frame semantics live in the general path).
+            stream = self.open_stream(StreamDirection.UNIDIRECTIONAL)
+            self.send_stream_data(stream, chunk, fin=True)
+            return stream.stream_id
+        sequence = self._next_stream_sequence[StreamDirection.UNIDIRECTIONAL]
+        self._next_stream_sequence[StreamDirection.UNIDIRECTIONAL] = sequence + 1
+        stream_id = make_stream_id(sequence, self.is_client, StreamDirection.UNIDIRECTIONAL)
+        packet_number = self._next_packet_number
+        self._next_packet_number = packet_number + 1
+        self._unacked[packet_number] = _EncodedStreamPacket(stream_id, chunk)
+        self._sent_times[packet_number] = self._simulator.now
+        if not self._loss_timer.is_running:
+            self._loss_timer.start(self._probe_timeout())
+        acquire = self._acquire_buffer
+        buffer = acquire() if acquire is not None else bytearray()
+        # Byte-identical to Packet(ONE_RTT, cid, pn, (StreamFrame(stream_id,
+        # offset=0, chunk, fin=True),)).encode(): the frame payload length is
+        # computed up front so header and payload share one buffer.
+        chunk_length = len(chunk)
+        # frame type (1) + offset varint 0 (1) + fin byte (1) = 3.
+        payload_length = 3 + varint_size(stream_id) + varint_size(chunk_length) + chunk_length
+        buffer.append(int(PacketType.ONE_RTT))
+        append_varint(buffer, self.connection_id)
+        append_varint(buffer, packet_number)
+        append_varint(buffer, payload_length)
+        buffer.append(0x08)  # FrameType.STREAM
+        append_varint(buffer, stream_id)
+        buffer.append(0)  # offset
+        buffer.append(1)  # fin
+        append_varint(buffer, chunk_length)
+        buffer += chunk
+        self.statistics.packets_sent += 1
+        self.statistics.bytes_sent += len(buffer)
+        self._send(buffer if acquire is not None else bytes(buffer), self.peer_address)
+        self._restart_idle_timer()
+        return stream_id
+
     # ------------------------------------------------------------ packetising
     def _can_send_app_data(self) -> bool:
         if self.handshake_complete:
@@ -376,7 +519,12 @@ class QuicConnection:
         self._transmit(packet)
 
     def _transmit(self, packet: Packet) -> None:
-        payload = packet.encode()
+        acquire = self._acquire_buffer
+        if acquire is not None:
+            payload: bytes | bytearray = acquire()
+            packet.encode_into(payload)
+        else:
+            payload = packet.encode()
         self.statistics.packets_sent += 1
         self.statistics.bytes_sent += len(payload)
         self._send(payload, self.peer_address)
@@ -492,23 +640,24 @@ class QuicConnection:
         # Hand-assembled wire bytes (identical to encoding a one-AckFrame
         # Packet): an ACK rides every ack-eliciting packet, so this path runs
         # once per received data packet and skips the Packet/Frame objects.
-        buffer = bytearray()
+        # When the endpoint installed pooled sending, the bytes go straight
+        # into a recycled buffer (ACKs dominate the reverse fan-out path).
+        acquire = self._acquire_buffer
+        buffer = acquire() if acquire is not None else bytearray()
         buffer.append(
             int(PacketType.ONE_RTT if self.handshake_complete else PacketType.INITIAL)
         )
         append_varint(buffer, self.connection_id)
         append_varint(buffer, self._next_packet_number)
         self._next_packet_number += 1
-        payload = bytearray()
-        append_varint(payload, 0x02)  # FrameType.ACK
-        append_varint(payload, packet_number)
-        append_varint(payload, 0)  # ack delay
-        append_varint(buffer, len(payload))
-        buffer += payload
-        wire = bytes(buffer)
+        # ACK frame: type (1 byte) + largest + delay varint 0 (1 byte).
+        append_varint(buffer, 2 + varint_size(packet_number))
+        buffer.append(0x02)  # FrameType.ACK
+        append_varint(buffer, packet_number)
+        buffer.append(0)  # ack delay
         self.statistics.packets_sent += 1
-        self.statistics.bytes_sent += len(wire)
-        self._send(wire, self.peer_address)
+        self.statistics.bytes_sent += len(buffer)
+        self._send(buffer if acquire is not None else bytes(buffer), self.peer_address)
         self._restart_idle_timer()
 
     def _process_frame(self, packet: Packet, frame: Frame) -> None:
@@ -517,7 +666,27 @@ class QuicConnection:
             if not self.is_client and packet.packet_type == PacketType.ZERO_RTT:
                 if not self.early_data_accepted and self.handshake_complete:
                     return  # rejected early data is dropped
-            stream = self.get_or_create_stream(frame.stream_id)
+            stream_id = frame.stream_id
+            stream = self._streams.get(stream_id)
+            if stream is None:
+                if stream_id in self._finished_streams:
+                    return  # late retransmission of a completed one-shot stream
+                if (
+                    frame.fin
+                    and frame.offset == 0
+                    and stream_id & 0x2
+                    and self.on_stream_data is not None
+                ):
+                    # One-shot unidirectional stream delivered whole in its
+                    # first frame — the fan-out data path.  Complete it
+                    # without materialising stream state; the finished-set
+                    # entry replaces ``receive_closed`` for duplicate
+                    # suppression.
+                    self._finished_streams.add(stream_id)
+                    self.on_stream_data(stream_id, frame.data, True)
+                    return
+                stream = QuicStream(stream_id)
+                self._streams[stream_id] = stream
             if stream._on_data is None and self.on_stream_data is not None:
                 stream.set_data_callback(self.on_stream_data)
             stream.receive(frame.offset, frame.data, frame.fin)

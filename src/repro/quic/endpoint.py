@@ -41,6 +41,19 @@ class QuicEndpoint:
         attach a session to the connection.
     """
 
+    __slots__ = (
+        "_host",
+        "_simulator",
+        "_server_config",
+        "_server_tls",
+        "on_connection",
+        "ticket_store",
+        "_connections",
+        "_next_connection_id",
+        "_pool",
+        "address",
+    )
+
     def __init__(
         self,
         host: Host,
@@ -57,6 +70,10 @@ class QuicEndpoint:
         self.ticket_store = SessionTicketStore()
         self._connections: dict[int, QuicConnection] = {}
         self._next_connection_id = 1
+        # Recycle datagram shells and send buffers through the network's pool
+        # when one exists (hosts wired to links directly, as some transport
+        # tests do, fall back to plain allocation).
+        self._pool = getattr(host.network, "datagram_pool", None)
         if port is None:
             self.address = host.bind_ephemeral(self)
         else:
@@ -84,6 +101,7 @@ class QuicEndpoint:
             ticket_store=self.ticket_store,
         )
         self._connections[connection_id] = connection
+        self._install_pooled_sending(connection)
         connection.start_handshake()
         return connection
 
@@ -126,12 +144,34 @@ class QuicEndpoint:
             server_tls=self._server_tls,
         )
         self._connections[packet.connection_id] = connection
+        self._install_pooled_sending(connection)
         if self.on_connection is not None:
             self.on_connection(connection)
         return connection
 
     # ------------------------------------------------------------------ wiring
-    def _send_payload(self, payload: bytes, destination: Address) -> None:
+    def _install_pooled_sending(self, connection: QuicConnection) -> None:
+        if self._pool is not None:
+            connection._acquire_buffer = self._pool.acquire_buffer
+
+    def _send_payload(self, payload: bytes | bytearray, destination: Address) -> None:
+        pool = self._pool
+        if pool is not None:
+            if type(payload) is bytearray:
+                # A pool-acquired send buffer from this endpoint's connection:
+                # ship it zero-copy as a memoryview and reclaim it with the
+                # datagram after final delivery.
+                datagram = pool.acquire(
+                    self.address,
+                    destination,
+                    memoryview(payload),
+                    PROTOCOL_LABEL,
+                    buffer=payload,
+                )
+            else:
+                datagram = pool.acquire(self.address, destination, payload, PROTOCOL_LABEL)
+            self._host.send(datagram)
+            return
         self._host.send(
             Datagram(
                 source=self.address,

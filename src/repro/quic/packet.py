@@ -43,20 +43,25 @@ class Packet:
     packet_number: int
     frames: tuple[Frame, ...] = field(default_factory=tuple)
 
-    def encode(self) -> bytes:
-        """Serialise the packet.
+    def encode_into(self, buffer: bytearray) -> None:
+        """Serialise the packet into ``buffer`` (a pooled send buffer on the
+        hot path).
 
-        Header and frames are written into one buffer; the frame payload is
+        Header and frames share the output buffer; the frame payload is
         batched separately only because its varint length prefixes it.
         """
         payload = bytearray()
         encode_frames_into(payload, self.frames)
-        buffer = bytearray()
         buffer.append(int(self.packet_type))
         append_varint(buffer, self.connection_id)
         append_varint(buffer, self.packet_number)
         append_varint(buffer, len(payload))
         buffer += payload
+
+    def encode(self) -> bytes:
+        """Serialise the packet."""
+        buffer = bytearray()
+        self.encode_into(buffer)
         return bytes(buffer)
 
     @classmethod

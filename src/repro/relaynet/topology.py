@@ -105,7 +105,7 @@ class RelayNode:
         return self.relay.upstream_address.host
 
 
-@dataclass
+@dataclass(slots=True)
 class _SubscriberTrack:
     """One track a subscriber follows, with dedupe and re-attach state."""
 
@@ -124,7 +124,7 @@ class _SubscriberTrack:
     recovery: RecoveryBuffer = field(default_factory=RecoveryBuffer)
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class TreeSubscriber:
     """A leaf MoQT client attached below an edge relay.
 
@@ -544,19 +544,26 @@ class RelayTopology:
         """
         config = session_config if session_config is not None else self.session_config
         created: list[TreeSubscriber] = []
-        for _ in range(count):
-            index = self._subscribers_created
-            self._subscribers_created += 1
-            leaf = self._pick_leaf()
-            host = self.network.add_host(f"{host_prefix}-{index}")
-            self.network.connect(leaf.host, host, self.spec.subscriber_link)
-            session = self._open_subscriber_session(host, leaf, config)
-            subscriber = TreeSubscriber(
-                index=index, host=host, session=session, leaf=leaf, config=config
-            )
-            self._watch_subscriber_session(subscriber)
-            leaf.load += 1
-            created.append(subscriber)
+        # One batching region around the whole population: every subscriber's
+        # first handshake flight collapses into one link-batch event instead
+        # of one heap event per subscriber (the replies batch recursively).
+        self.network.begin_batch()
+        try:
+            for _ in range(count):
+                index = self._subscribers_created
+                self._subscribers_created += 1
+                leaf = self._pick_leaf()
+                host = self.network.add_host(f"{host_prefix}-{index}")
+                self.network.connect(leaf.host, host, self.spec.subscriber_link)
+                session = self._open_subscriber_session(host, leaf, config)
+                subscriber = TreeSubscriber(
+                    index=index, host=host, session=session, leaf=leaf, config=config
+                )
+                self._watch_subscriber_session(subscriber)
+                leaf.load += 1
+                created.append(subscriber)
+        finally:
+            self.network.end_batch()
         self.subscribers.extend(created)
         return created
 
@@ -587,11 +594,15 @@ class RelayTopology:
         """Subscribe every (given or attached) subscriber to one track."""
         targets = subscribers if subscribers is not None else self.subscribers
         subscriptions: list[Subscription] = []
-        for subscriber in targets:
-            callback = None
-            if on_object is not None:
-                callback = lambda obj, sub=subscriber: on_object(sub, obj)
-            subscriptions.append(subscriber.subscribe_track(full_track_name, callback))
+        self.network.begin_batch()
+        try:
+            for subscriber in targets:
+                callback = None
+                if on_object is not None:
+                    callback = lambda obj, sub=subscriber: on_object(sub, obj)
+                subscriptions.append(subscriber.subscribe_track(full_track_name, callback))
+        finally:
+            self.network.end_batch()
         return subscriptions
 
     # -------------------------------------------------------------- membership
