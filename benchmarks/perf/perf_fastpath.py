@@ -42,7 +42,7 @@ Usage::
     PYTHONPATH=src python benchmarks/perf/perf_fastpath.py --repeat 3
     PYTHONPATH=src python benchmarks/perf/perf_fastpath.py --only cdn_macro_10k --profile
     PYTHONPATH=src python benchmarks/perf/perf_fastpath.py --smoke --check BENCH_fastpath.json
-    PYTHONPATH=src python benchmarks/perf/perf_fastpath.py --output out.json
+    PYTHONPATH=src python benchmarks/perf/perf_fastpath.py --metrics --output out.json
 """
 
 from __future__ import annotations
@@ -69,8 +69,14 @@ from repro.quic.varint import (
     decode_varint,
     encode_varint,
 )
+from repro.telemetry import MetricsRegistry, SpanTracer, Telemetry
+from repro.telemetry.export import (
+    spans_to_records,
+    write_metrics_snapshot,
+    write_prometheus,
+)
 
-SCHEMA = "bench-fastpath/v4"
+SCHEMA = "bench-fastpath/v5"
 
 #: Relative throughput loss beyond which ``--check`` fails the run.  Wide
 #: enough to absorb runner-class jitter (documented in the README); narrow
@@ -82,6 +88,27 @@ CHECKED_THROUGHPUTS = (
     ("event_loop_churn", "events_per_second"),
     ("varint_roundtrip", "ops_per_second"),
 )
+
+#: Nested metric fields ``--check`` gates as *floors* (current must stay
+#: within the tolerance band *below* the reference).  Pool hit rate is
+#: deterministic for a seeded run, so any drop here is a real change to the
+#: allocation-free fan-out path, not runner jitter.
+CHECKED_METRIC_FLOORS = (
+    ("cdn_macro_10k", ("metrics", "pool_datagram_hit_rate")),
+)
+
+#: Nested metric fields ``--check`` gates as *ceilings* (current must stay
+#: within the tolerance band *above* the reference).  Events-per-wave is the
+#: scheduler cost of one pushed update's fan-out; growth here means the
+#: flat-fan-out property is eroding even if wall-clock hides it.
+CHECKED_METRIC_CEILINGS = (
+    ("cdn_macro_10k", ("metrics", "events_per_wave")),
+)
+
+#: Sampling strides for the ``--metrics`` span tracer.  Every object is
+#: traced (the experiments push tens, not millions), but only one subscriber
+#: in 101 records deliveries so the 10k/100k macros stay allocation-light.
+METRICS_SUBSCRIBER_SAMPLE_EVERY = 101
 
 #: Every benchmark key ``--only`` may select (misspellings are rejected so a
 #: selection that runs nothing cannot silently exit 0).
@@ -227,15 +254,46 @@ def bench_varint_roundtrip(rounds: int = 40_000) -> dict[str, object]:
     }
 
 
-def bench_relay_fanout_e11(subscribers: int = 1000, updates: int = 5) -> dict[str, object]:
+def _sample_metrics_block(sample, updates: int) -> dict[str, object]:
+    """The ``metrics`` sub-document of a fan-out benchmark entry.
+
+    Always present (the counters are free — they are scraped, not computed),
+    so pool hit rate, heap compactions and events-per-wave are visible in
+    the committed BENCH json and gateable by ``--check``.
+    """
+    pool = sample.pool_counters or {}
+    datagram_total = pool.get("datagrams_allocated", 0) + pool.get("datagrams_reused", 0)
+    buffer_total = pool.get("buffers_allocated", 0) + pool.get("buffers_reused", 0)
+    return {
+        "pool": dict(pool),
+        "pool_datagram_hit_rate": (
+            round(pool.get("datagrams_reused", 0) / datagram_total, 6)
+            if datagram_total
+            else 0.0
+        ),
+        "pool_buffer_hit_rate": (
+            round(pool.get("buffers_reused", 0) / buffer_total, 6) if buffer_total else 0.0
+        ),
+        "compactions": sample.compactions,
+        # Scheduler cost of one pushed update's fan-out, with the (fixed-size)
+        # setup cost amortised across the waves of this run.
+        "events_per_wave": round(sample.events_scheduled / updates, 1),
+    }
+
+
+def bench_relay_fanout_e11(
+    subscribers: int = 1000, updates: int = 5, telemetry: Telemetry | None = None
+) -> dict[str, object]:
     """Wall-clock of the E11 fan-out experiment at the benchmark scale."""
     with quiesced_gc():
         start = time.perf_counter()
-        result = run_relay_fanout(subscriber_counts=(subscribers,), updates=updates)
+        result = run_relay_fanout(
+            subscriber_counts=(subscribers,), updates=updates, telemetry=telemetry
+        )
         elapsed = time.perf_counter() - start
     sample = result.samples[0]
     row = sample.as_row()
-    return {
+    entry = {
         "subscribers": subscribers,
         "updates": updates,
         "seconds": round(elapsed, 6),
@@ -246,7 +304,11 @@ def bench_relay_fanout_e11(subscribers: int = 1000, updates: int = 5) -> dict[st
         "max_tier_byte_deviation": row["max_tier_dev"],
         "tier_bytes": list(sample.measured_tier_bytes),
         "events_scheduled": sample.events_scheduled,
+        "metrics": _sample_metrics_block(sample, updates),
     }
+    if sample.latency is not None:
+        entry["latency"] = sample.latency
+    return entry
 
 
 #: Memo of the 1,000-subscriber reference sample per update count, so a full
@@ -262,19 +324,25 @@ def _macro_reference_sample(updates: int):
     return sample
 
 
-def bench_cdn_macro(subscribers: int, updates: int = 5) -> dict[str, object]:
+def bench_cdn_macro(
+    subscribers: int, updates: int = 5, telemetry: Telemetry | None = None
+) -> dict[str, object]:
     """CDN-tree macro-benchmark at ``subscribers`` with the egress invariant.
 
     Origin egress must be O(branching factor): identical to the
     1,000-subscriber run (same tree, same updates) despite the larger
     subscriber population.  Reports ``events_scheduled`` (flat fan-out means
-    events grow with deliveries, not with per-datagram scheduling overhead)
-    and ``peak_rss_bytes`` so memory regressions are visible in the JSON.
+    events grow with deliveries, not with per-datagram scheduling overhead),
+    ``peak_rss_bytes`` and a ``metrics`` block (pool hit rates, heap
+    compactions, events-per-wave) so memory, allocation and scheduler
+    regressions are all visible in the JSON.
     """
     reference_sample = _macro_reference_sample(updates)
     with quiesced_gc():
         start = time.perf_counter()
-        result = run_relay_fanout(subscriber_counts=(subscribers,), updates=updates)
+        result = run_relay_fanout(
+            subscriber_counts=(subscribers,), updates=updates, telemetry=telemetry
+        )
         elapsed = time.perf_counter() - start
     sample = result.samples[0]
     invariant_ok = (
@@ -282,7 +350,7 @@ def bench_cdn_macro(subscribers: int, updates: int = 5) -> dict[str, object]:
         and sample.origin_egress_bytes == reference_sample.origin_egress_bytes
         and sample.delivered_objects == subscribers * updates
     )
-    return {
+    entry = {
         "subscribers": subscribers,
         "updates": updates,
         "seconds": round(elapsed, 6),
@@ -294,20 +362,30 @@ def bench_cdn_macro(subscribers: int, updates: int = 5) -> dict[str, object]:
         "max_tier_byte_deviation": sample.max_tier_byte_deviation,
         "events_scheduled": sample.events_scheduled,
         "peak_rss_bytes": peak_rss_bytes(),
+        "metrics": _sample_metrics_block(sample, updates),
     }
+    if sample.latency is not None:
+        entry["latency"] = sample.latency
+    return entry
 
 
-def bench_cdn_macro_10k(subscribers: int = 10_000, updates: int = 5) -> dict[str, object]:
+def bench_cdn_macro_10k(
+    subscribers: int = 10_000, updates: int = 5, telemetry: Telemetry | None = None
+) -> dict[str, object]:
     """10,000-subscriber CDN-tree macro-benchmark (see :func:`bench_cdn_macro`)."""
-    return bench_cdn_macro(subscribers, updates)
+    return bench_cdn_macro(subscribers, updates, telemetry)
 
 
-def bench_cdn_macro_100k(subscribers: int = 100_000, updates: int = 5) -> dict[str, object]:
+def bench_cdn_macro_100k(
+    subscribers: int = 100_000, updates: int = 5, telemetry: Telemetry | None = None
+) -> dict[str, object]:
     """100,000-subscriber CDN-tree macro-benchmark (see :func:`bench_cdn_macro`)."""
-    return bench_cdn_macro(subscribers, updates)
+    return bench_cdn_macro(subscribers, updates, telemetry)
 
 
-def bench_relay_churn(subscribers: int = 1000) -> dict[str, object]:
+def bench_relay_churn(
+    subscribers: int = 1000, telemetry: Telemetry | None = None
+) -> dict[str, object]:
     """E12 churn macro-benchmark: relay kills under a live CDN run.
 
     Wall-clock covers the whole experiment (build, subscribe, twelve pushed
@@ -318,7 +396,7 @@ def bench_relay_churn(subscribers: int = 1000) -> dict[str, object]:
     """
     with quiesced_gc():
         start = time.perf_counter()
-        result = run_relay_churn(subscribers=subscribers)
+        result = run_relay_churn(subscribers=subscribers, telemetry=telemetry)
         elapsed = time.perf_counter() - start
     reattach: dict[str, dict[str, float]] = {}
     model_ok = True
@@ -358,7 +436,9 @@ def bench_relay_churn(subscribers: int = 1000) -> dict[str, object]:
     }
 
 
-def bench_failure_detection(subscribers: int = 1000) -> dict[str, object]:
+def bench_failure_detection(
+    subscribers: int = 1000, telemetry: Telemetry | None = None
+) -> dict[str, object]:
     """E13 macro-benchmark: silent crashes, failover purely in-band.
 
     No control-plane kill signal is issued; a mid-tier relay crash must be
@@ -371,7 +451,7 @@ def bench_failure_detection(subscribers: int = 1000) -> dict[str, object]:
     """
     with quiesced_gc():
         start = time.perf_counter()
-        result = run_failure_detection(subscribers=subscribers)
+        result = run_failure_detection(subscribers=subscribers, telemetry=telemetry)
         elapsed = time.perf_counter() - start
     detection: dict[str, dict[str, object]] = {}
     for sample in result.samples:
@@ -411,16 +491,29 @@ def run(
     skip_macro: bool = False,
     repeat: int = 1,
     only: set[str] | None = None,
-) -> dict[str, object]:
-    """Run the harness and return the result document.
+    telemetry: Telemetry | None = None,
+) -> tuple[dict[str, object], list[dict[str, object]]]:
+    """Run the harness; return the result document and harvested spans.
 
     ``only`` restricts the run to the named benchmark keys (for profiling a
     single benchmark); correctness gating in :func:`main` only applies to
-    benchmarks that actually ran.
+    benchmarks that actually ran.  With ``telemetry`` set (``--metrics``),
+    the experiment benchmarks record metrics and spans; each benchmark's
+    final span set is harvested (tagged with the benchmark name) before the
+    next benchmark clears the tracer.
     """
 
     def selected(name: str) -> bool:
         return only is None or name in only
+
+    trace_records: list[dict[str, object]] = []
+
+    def harvest(name: str) -> None:
+        if telemetry is not None and telemetry.spans is not None:
+            trace_records.extend(
+                {"benchmark": name, **record}
+                for record in spans_to_records(telemetry.spans)
+            )
 
     benchmarks: dict[str, object] = {}
     if selected("event_loop_churn"):
@@ -433,26 +526,35 @@ def run(
         )
     if selected("relay_fanout_e11"):
         benchmarks["relay_fanout_e11"] = bench_relay_fanout_e11(
-            subscribers=200 if smoke else 1000
+            subscribers=200 if smoke else 1000, telemetry=telemetry
         )
+        harvest("relay_fanout_e11")
     if selected("relay_churn"):
-        benchmarks["relay_churn"] = bench_relay_churn(subscribers=200 if smoke else 1000)
+        benchmarks["relay_churn"] = bench_relay_churn(
+            subscribers=200 if smoke else 1000, telemetry=telemetry
+        )
+        harvest("relay_churn")
     if selected("failure_detection"):
         benchmarks["failure_detection"] = bench_failure_detection(
-            subscribers=200 if smoke else 1000
+            subscribers=200 if smoke else 1000, telemetry=telemetry
         )
+        harvest("failure_detection")
     if not skip_macro and selected("cdn_macro_10k"):
-        benchmarks["cdn_macro_10k"] = bench_cdn_macro_10k()
+        benchmarks["cdn_macro_10k"] = bench_cdn_macro_10k(telemetry=telemetry)
+        harvest("cdn_macro_10k")
     if not skip_macro and not smoke and selected("cdn_macro_100k"):
-        benchmarks["cdn_macro_100k"] = bench_cdn_macro_100k()
-    return {
+        benchmarks["cdn_macro_100k"] = bench_cdn_macro_100k(telemetry=telemetry)
+        harvest("cdn_macro_100k")
+    document = {
         "schema": SCHEMA,
         "generated_unix": int(time.time()),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "smoke": smoke,
+        "metrics_enabled": telemetry is not None,
         "benchmarks": benchmarks,
     }
+    return document, trace_records
 
 
 def check_against_reference(
@@ -467,22 +569,46 @@ def check_against_reference(
     """
     reference = json.loads(reference_path.read_text())
     failures: list[str] = []
-    for bench, field in CHECKED_THROUGHPUTS:
-        current = document["benchmarks"].get(bench, {}).get(field)
-        baseline = reference.get("benchmarks", {}).get(bench, {}).get(field)
+
+    def lookup(doc: dict[str, object], bench: str, path: tuple[str, ...]):
+        node = doc.get("benchmarks", {}).get(bench)
+        for key in path:
+            if not isinstance(node, dict):
+                return None
+            node = node.get(key)
+        return node
+
+    def gate(bench: str, path: tuple[str, ...], direction: str) -> None:
+        field = ".".join(path)
+        current = lookup(document, bench, path)
+        baseline = lookup(reference, bench, path)
         if current is None or baseline is None:
-            continue
-        floor = baseline * (1.0 - tolerance)
-        status = "ok" if current >= floor else "REGRESSION"
+            return
+        if direction == "floor":
+            bound = baseline * (1.0 - tolerance)
+            ok = current >= bound
+            comparison = f"{current} < {bound:.6g}"
+        else:
+            bound = baseline * (1.0 + tolerance)
+            ok = current <= bound
+            comparison = f"{current} > {bound:.6g}"
+        status = "ok" if ok else "REGRESSION"
         print(
             f"check {bench}.{field}: {current} vs reference {baseline} "
-            f"(floor {floor:.0f}) {status}"
+            f"({direction} {bound:.6g}) {status}"
         )
-        if current < floor:
+        if not ok:
             failures.append(
                 f"{bench}.{field} regressed more than {tolerance:.0%}: "
-                f"{current} < {floor:.0f} (reference {baseline})"
+                f"{comparison} (reference {baseline})"
             )
+
+    for bench, field in CHECKED_THROUGHPUTS:
+        gate(bench, (field,), "floor")
+    for bench, path in CHECKED_METRIC_FLOORS:
+        gate(bench, path, "floor")
+    for bench, path in CHECKED_METRIC_CEILINGS:
+        gate(bench, path, "ceiling")
     return failures
 
 
@@ -522,8 +648,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--profile",
         action="store_true",
-        help="wrap the selected benchmarks in cProfile and print the top-20 "
-        "cumulative functions (combine with --only to profile one benchmark)",
+        help="wrap the selected benchmarks in cProfile and write the profile "
+        "to a text file artifact (combine with --only to profile one benchmark)",
+    )
+    parser.add_argument(
+        "--profile-output",
+        default=None,
+        metavar="PATH",
+        help="where --profile writes its report "
+        "(default: <output stem>_profile.txt next to --output)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable the telemetry layer for the experiment benchmarks: "
+        "metrics registry + sampled span tracing.  Writes three artifacts "
+        "next to --output: <stem>_metrics.json (registry + span summary), "
+        "<stem>_metrics.prom (Prometheus text exposition) and "
+        "<stem>_trace.jsonl (one traced object span per line)",
     )
     parser.add_argument(
         "--check",
@@ -556,21 +698,63 @@ def main(argv: list[str] | None = None) -> int:
                 "(--smoke/--skip-macro) excludes it; it will not run",
                 file=sys.stderr,
             )
+    output = Path(args.output)
+    telemetry = None
+    if args.metrics:
+        telemetry = Telemetry(
+            metrics=MetricsRegistry(),
+            spans=SpanTracer(
+                subscriber_sample_every=METRICS_SUBSCRIBER_SAMPLE_EVERY
+            ),
+        )
     if args.profile:
         import cProfile
         import pstats
 
         profiler = cProfile.Profile()
         profiler.enable()
-        document = run(smoke=args.smoke, skip_macro=args.skip_macro, repeat=args.repeat, only=only)
+        document, trace_records = run(
+            smoke=args.smoke,
+            skip_macro=args.skip_macro,
+            repeat=args.repeat,
+            only=only,
+            telemetry=telemetry,
+        )
         profiler.disable()
-        stats = pstats.Stats(profiler, stream=sys.stderr).sort_stats("cumulative")
-        print("-- cProfile: top 20 by cumulative time --", file=sys.stderr)
-        stats.print_stats(20)
+        profile_path = Path(
+            args.profile_output
+            if args.profile_output
+            else output.with_name(f"{output.stem}_profile.txt")
+        )
+        with profile_path.open("w") as stream:
+            stats = pstats.Stats(profiler, stream=stream).sort_stats("cumulative")
+            stream.write("-- cProfile: top 50 by cumulative time --\n")
+            stats.print_stats(50)
+        print(f"wrote profile to {profile_path}", file=sys.stderr)
     else:
-        document = run(smoke=args.smoke, skip_macro=args.skip_macro, repeat=args.repeat, only=only)
-    output = Path(args.output)
+        document, trace_records = run(
+            smoke=args.smoke,
+            skip_macro=args.skip_macro,
+            repeat=args.repeat,
+            only=only,
+            telemetry=telemetry,
+        )
     output.write_text(json.dumps(document, indent=2) + "\n")
+    if telemetry is not None:
+        snapshot_path = output.with_name(f"{output.stem}_metrics.json")
+        write_metrics_snapshot(telemetry.metrics, snapshot_path, spans=telemetry.spans)
+        prometheus_path = output.with_name(f"{output.stem}_metrics.prom")
+        write_prometheus(telemetry.metrics, prometheus_path)
+        trace_path = output.with_name(f"{output.stem}_trace.jsonl")
+        with trace_path.open("w") as stream:
+            for record in trace_records:
+                stream.write(json.dumps(record, separators=(",", ":")))
+                stream.write("\n")
+        print(
+            f"wrote telemetry artifacts: {snapshot_path}, {prometheus_path}, "
+            f"{trace_path} ({len(trace_records)} spans)",
+            file=sys.stderr,
+        )
     json.dump(document["benchmarks"], sys.stdout, indent=2)
     print()
     benchmarks = document["benchmarks"]

@@ -60,6 +60,8 @@ from repro.netsim.trace import NullTraceRecorder
 from repro.quic.connection import ConnectionConfig
 from repro.relaynet import FailoverEvent, RelayTreeSpec
 from repro.relaynet.topology import RelayNode, RelayTopology
+from repro.telemetry import Telemetry
+from repro.telemetry.collect import collect_run
 
 #: Floating-point slack when comparing simulator timestamps against the
 #: closed-form model (the simulator and the model associate the same sums
@@ -300,6 +302,7 @@ def run_failure_detection(
     seed: int = 29,
     keepalive_interval: float = 0.5,
     subscriber_idle_timeout: float = 1.5,
+    telemetry: Telemetry | None = None,
 ) -> FailureDetectionResult:
     """Crash relays silently under a live CDN tree; recover purely in-band.
 
@@ -311,7 +314,9 @@ def run_failure_detection(
     signal is ever issued.
     """
     simulator = Simulator(seed=seed)
-    network = Network(simulator, trace=NullTraceRecorder(simulator))
+    network = Network(simulator, trace=NullTraceRecorder(simulator), telemetry=telemetry)
+    if telemetry is not None and telemetry.spans is not None:
+        telemetry.spans.clear()
     publisher = build_origin(network)
     spec = RelayTreeSpec.cdn(mid_relays=mid_relays, edge_per_mid=edge_per_mid)
     topology = RelayTopology(
@@ -411,6 +416,8 @@ def run_failure_detection(
                 _sample(node.failure_event, crashed_at, models, spec, alpn)
             )
     nodes = topology.nodes()
+    if telemetry is not None:
+        collect_run(telemetry.metrics, network, topology)
     return FailureDetectionResult(
         subscribers=subscribers,
         updates=updates,

@@ -49,6 +49,8 @@ from repro.netsim.simulator import Simulator
 from repro.netsim.trace import NullTraceRecorder
 from repro.relaynet import FailoverEvent, RelayTreeBuilder, RelayTreeSpec
 from repro.relaynet.topology import FailoverPolicy
+from repro.telemetry import Telemetry
+from repro.telemetry.collect import collect_run
 
 
 @dataclass
@@ -175,6 +177,7 @@ def run_relay_churn(
     seed: int = 23,
     failover_policy: FailoverPolicy | None = None,
     kill_edge: bool = True,
+    telemetry: Telemetry | None = None,
 ) -> RelayChurnResult:
     """Kill relays under a live CDN tree and measure the recovery.
 
@@ -186,7 +189,9 @@ def run_relay_churn(
     acceptance run.
     """
     simulator = Simulator(seed=seed)
-    network = Network(simulator, trace=NullTraceRecorder(simulator))
+    network = Network(simulator, trace=NullTraceRecorder(simulator), telemetry=telemetry)
+    if telemetry is not None and telemetry.spans is not None:
+        telemetry.spans.clear()
     publisher = build_origin(network)
     spec = RelayTreeSpec.cdn(mid_relays=mid_relays, edge_per_mid=edge_per_mid)
     builder = RelayTreeBuilder(
@@ -248,6 +253,8 @@ def run_relay_churn(
     )
     subscriber_duplicates = sum(sub.duplicates_dropped for sub in tree.subscribers)
     gap_fetches = sum(sub.gap_fetches for sub in tree.subscribers)
+    if telemetry is not None:
+        collect_run(telemetry.metrics, network, tree)
     return RelayChurnResult(
         subscribers=subscribers,
         updates=updates,

@@ -36,6 +36,8 @@ from repro.netsim.trace import NullTraceRecorder
 from repro.quic.endpoint import QuicEndpoint
 from repro.quic.tls import ServerTlsContext
 from repro.relaynet import RelayNetStats, RelayTreeBuilder, RelayTreeSpec
+from repro.telemetry import Telemetry
+from repro.telemetry.collect import collect_run
 
 TRACK = FullTrackName.of(["dns", "a"], b"cdn.example")
 ORIGIN_HOST = "origin"
@@ -72,6 +74,11 @@ class OriginPublisher:
         chunk_by_alias: dict[int, bytes] = {}
         network = self.network
         if network is not None:
+            spans = network.telemetry.spans
+            if spans is not None:
+                # Span root: every tier hop and delivery of this object is
+                # measured from this virtual-time instant.
+                spans.record_push(obj.location, network.simulator.now)
             network.begin_batch()
         try:
             for session in self.sessions:
@@ -120,20 +127,46 @@ def _update_payload(group_id: int, payload_size: int) -> bytes:
     return (stem * (payload_size // len(stem) + 1))[:payload_size]
 
 
+@dataclass
+class TreeRun:
+    """Everything one seeded tree run measured."""
+
+    #: Update-window statistics delta (setup traffic excluded).
+    delta: RelayNetStats
+    #: Objects the origin pushed during the window.
+    origin_objects: int
+    #: Objects delivered to subscriber callbacks during the window.
+    delivered: int
+    #: Total simulator events scheduled over the whole run.
+    events_scheduled: int
+    #: Datagram/buffer pool allocation and reuse counters at run end.
+    pool_counters: dict[str, int]
+    #: Lazy-deletion heap compactions over the whole run.
+    compactions: int
+
+
 def _run_tree(
     spec: RelayTreeSpec,
     subscribers: int,
     updates: int,
     payload_size: int,
     seed: int,
-) -> tuple[RelayNetStats, int, int, int]:
-    """Build the tree, push ``updates`` objects, return the update-window
-    statistics delta, the origin's pushed-object count, the number of
-    objects delivered to subscribers and the total events scheduled."""
+    telemetry: Telemetry | None = None,
+) -> TreeRun:
+    """Build the tree, push ``updates`` objects and measure the update window.
+
+    ``telemetry`` is observational only: metrics are scraped at run end and
+    the span tracer (cleared first, so one tracer can serve several seeded
+    runs) records push/hop/delivery timestamps without scheduling events,
+    drawing randomness or touching wire bytes — seeded outputs are
+    bit-identical with or without it.
+    """
     simulator = Simulator(seed=seed)
     # The experiment reads link statistics, never traces; a null recorder
     # removes two trace records per datagram from the fan-out hot path.
-    network = Network(simulator, trace=NullTraceRecorder(simulator))
+    network = Network(simulator, trace=NullTraceRecorder(simulator), telemetry=telemetry)
+    if telemetry is not None and telemetry.spans is not None:
+        telemetry.spans.clear()
     publisher = build_origin(network)
     tree = RelayTreeBuilder(network, Address(ORIGIN_HOST, ORIGIN_PORT)).build(spec)
     tree.attach_subscribers(subscribers)
@@ -155,11 +188,15 @@ def _run_tree(
         simulator.run(until=simulator.now + UPDATE_INTERVAL)
     simulator.run(until=simulator.now + 3.0)
     delta = RelayNetStats.collect(tree).delta(before)
-    return (
-        delta,
-        publisher.objects_sent - origin_before,
-        delivered[0] - delivered_before,
-        simulator.events_scheduled,
+    if telemetry is not None:
+        collect_run(telemetry.metrics, network, tree)
+    return TreeRun(
+        delta=delta,
+        origin_objects=publisher.objects_sent - origin_before,
+        delivered=delivered[0] - delivered_before,
+        events_scheduled=simulator.events_scheduled,
+        pool_counters=network.datagram_pool.counters(),
+        compactions=simulator.compactions,
     )
 
 
@@ -171,12 +208,10 @@ def calibrate_bytes_per_update(payload_size: int, updates: int = 4, seed: int = 
     divided by the update count is the per-update wire size (payload plus
     subgroup-stream and QUIC framing) the fan-out model scales up.
     """
-    delta, _, delivered, _ = _run_tree(
-        RelayTreeSpec.star(relays=1), 1, updates, payload_size, seed
-    )
-    if delivered != updates:
-        raise RuntimeError(f"calibration run lost updates: {delivered}/{updates}")
-    return delta.subscriber_link_bytes / updates
+    run = _run_tree(RelayTreeSpec.star(relays=1), 1, updates, payload_size, seed)
+    if run.delivered != updates:
+        raise RuntimeError(f"calibration run lost updates: {run.delivered}/{updates}")
+    return run.delta.subscriber_link_bytes / updates
 
 
 @dataclass
@@ -194,6 +229,13 @@ class FanoutSample:
     #: Total simulator events scheduled over the whole run (setup included) —
     #: the quantity link-batch fan-out keeps from growing with subscribers.
     events_scheduled: int = 0
+    #: Datagram/buffer pool counters at run end (allocation vs. reuse) —
+    #: surfaced so benchmarks can regress on pool hit rate.
+    pool_counters: dict[str, int] | None = None
+    #: Lazy-deletion heap compactions over the run.
+    compactions: int = 0
+    #: Per-tier latency summary from span tracing (None when tracing is off).
+    latency: dict[str, object] | None = None
 
     @property
     def max_tier_byte_deviation(self) -> float:
@@ -275,6 +317,7 @@ def run_relay_fanout(
     edge_per_mid: int = 4,
     payload_size: int = 300,
     seed: int = 7,
+    telemetry: Telemetry | None = None,
 ) -> RelayFanoutResult:
     """Run the fan-out experiment over a range of subscriber counts.
 
@@ -282,19 +325,27 @@ def run_relay_fanout(
     relays, ``mid_relays * edge_per_mid`` edge relays), so origin egress
     staying flat across samples while subscribers grow two orders of
     magnitude is the tree doing its job.
+
+    ``telemetry`` (optional) is threaded into every sample's network: the
+    span tracer is cleared per sample and its per-tier latency summary lands
+    on :attr:`FanoutSample.latency`; metrics are scraped at each sample's
+    end (later samples overwrite earlier gauges).  Measured byte counts are
+    unaffected — the calibration run deliberately stays telemetry-free.
     """
     bytes_per_update = calibrate_bytes_per_update(payload_size, seed=seed + 1)
     samples: list[FanoutSample] = []
     for count in subscriber_counts:
         spec = RelayTreeSpec.cdn(mid_relays=mid_relays, edge_per_mid=edge_per_mid)
-        delta, origin_objects, delivered, events_scheduled = _run_tree(
-            spec, count, updates, payload_size, seed
-        )
+        run = _run_tree(spec, count, updates, payload_size, seed, telemetry=telemetry)
+        delta = run.delta
         measured_bytes = delta.tier_uplink_bytes() + (delta.subscriber_link_bytes,)
         measured_objects = tuple(tier.objects_received for tier in delta.tiers) + (
             delta.subscriber_objects_received,
         )
         model = fanout_model(count, updates, spec.tier_sizes(), bytes_per_update)
+        latency = None
+        if telemetry is not None and telemetry.spans is not None:
+            latency = telemetry.spans.summary()
         samples.append(
             FanoutSample(
                 subscribers=count,
@@ -302,10 +353,13 @@ def run_relay_fanout(
                 tier_names=tuple(tier.name for tier in spec.tiers) + ("subscribers",),
                 measured_tier_bytes=measured_bytes,
                 measured_tier_objects=measured_objects,
-                measured_origin_objects=origin_objects,
-                delivered_objects=delivered,
+                measured_origin_objects=run.origin_objects,
+                delivered_objects=run.delivered,
                 model=model,
-                events_scheduled=events_scheduled,
+                events_scheduled=run.events_scheduled,
+                pool_counters=run.pool_counters,
+                compactions=run.compactions,
+                latency=latency,
             )
         )
     return RelayFanoutResult(

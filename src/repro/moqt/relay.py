@@ -723,6 +723,17 @@ class MoqtRelay:
             cached_encoding = encode_subgroup_object(obj)
             chunk_by_alias = {}
         network = self.host.network
+        # Span tracing (one record per relay per object, before the fan-out
+        # loop): purely observational — no events, no RNG, no wire bytes.
+        telemetry = getattr(network, "telemetry", None)
+        if telemetry is not None and telemetry.spans is not None:
+            telemetry.spans.record_hop(
+                obj.location,
+                self.tier,
+                self.host.address,
+                self.upstream_address.host,
+                self.simulator.now,
+            )
         batching = network is not None and hasattr(network, "begin_batch")
         if batching:
             network.begin_batch()

@@ -55,10 +55,15 @@ class TraceRecorder:
         self._raw: list[tuple[float, str, dict[str, Any]]] = []
         self._materialized: list[TraceEvent] = []
         self._listeners: list[Callable[[TraceEvent], None]] = []
+        # Incremental per-kind tally: experiments call count(kind) in loops,
+        # which used to rescan the whole raw list every time.
+        self._kind_counts: dict[str, int] = {}
 
     def record(self, kind: str, **attributes: Any) -> None:
         """Append an event timestamped at the current virtual time."""
         self._raw.append((self._simulator.now, kind, attributes))
+        counts = self._kind_counts
+        counts[kind] = counts.get(kind, 0) + 1
         if self._listeners:
             event = self._events_list()[-1]
             for listener in self._listeners:
@@ -90,15 +95,16 @@ class TraceRecorder:
         return [event for event in self._events_list() if event.kind == kind]
 
     def count(self, kind: str | None = None) -> int:
-        """Number of events of the given kind (or all events)."""
+        """Number of events of the given kind (or all events) — O(1)."""
         if kind is None:
             return len(self._raw)
-        return sum(1 for _, event_kind, _ in self._raw if event_kind == kind)
+        return self._kind_counts.get(kind, 0)
 
     def clear(self) -> None:
         """Drop all recorded events."""
         self._raw.clear()
         self._materialized.clear()
+        self._kind_counts.clear()
 
     def filter(self, predicate: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
         """Events matching an arbitrary predicate."""
@@ -106,11 +112,9 @@ class TraceRecorder:
 
     def kinds(self) -> list[str]:
         """Distinct event kinds in order of first occurrence."""
-        seen: list[str] = []
-        for _, kind, _ in self._raw:
-            if kind not in seen:
-                seen.append(kind)
-        return seen
+        # dicts preserve insertion order, so the incremental tally already
+        # holds the kinds in first-occurrence order.
+        return list(self._kind_counts)
 
 
 class NullTraceRecorder(TraceRecorder):

@@ -135,6 +135,9 @@ class ConnectionStatistics:
     datagrams_sent: int = 0
     datagrams_received: int = 0
     pings_sent: int = 0
+    #: Liveness state changes (healthy/suspect/dead in either direction) —
+    #: the per-connection signal behind in-band failure detection (E13).
+    liveness_transitions: int = 0
 
 
 class QuicConnection:
@@ -576,6 +579,7 @@ class QuicConnection:
             return
         old, self.liveness = self.liveness, state
         self.liveness_cause = cause
+        self.statistics.liveness_transitions += 1
         if state == LIVENESS_SUSPECT:
             self.suspected_at = self._simulator.now
         elif state == LIVENESS_DEAD:

@@ -175,6 +175,18 @@ class TreeSubscriber:
             track.largest = obj.location
         if len(track.seen) > DEDUPE_PRUNE_THRESHOLD:
             track.seen = prune_seen_locations(track.seen, track.largest)
+        # Span tracing (delivery leg): observational only.  getattr guards
+        # stub hosts/networks used by unit tests.
+        host = self.host
+        network = host.network if host is not None else None
+        telemetry = getattr(network, "telemetry", None)
+        if telemetry is not None and telemetry.spans is not None:
+            telemetry.spans.record_delivery(
+                obj.location,
+                self.leaf.host.address,
+                self.index,
+                host.simulator.now,
+            )
         if track.on_object is not None:
             track.on_object(obj)
 

@@ -1,0 +1,216 @@
+"""Collectors: mirror existing subsystem counters into a metrics registry.
+
+The simulator, datagram pool, links, QUIC connections and relays already
+keep their own slotted counters on the hot path (incrementing a plain int
+attribute is the cheapest possible instrumentation).  Rather than rewire
+those paths through the registry — which would tax every run whether or not
+telemetry is on — these collectors *scrape*: called at measurement points
+(end of an experiment, end of a benchmark), they copy the live counters into
+registry instruments so the exporters see one uniform namespace.
+
+All collectors are no-ops against :data:`~repro.telemetry.metrics.NULL_METRICS`
+(`registry.enabled` is False) so callers can invoke them unconditionally.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def collect_simulator(metrics: MetricsRegistry, simulator) -> None:
+    """Scrape the event-loop counters (heap depth, compactions, clock)."""
+    if not metrics.enabled:
+        return
+    metrics.gauge("sim_virtual_time_seconds", "Simulated clock at scrape time").set(
+        simulator.now
+    )
+    metrics.gauge("sim_events_scheduled", "Events ever scheduled").set(
+        simulator.events_scheduled
+    )
+    metrics.gauge("sim_pending_events", "Live events in the heap (heap depth)").set(
+        simulator.pending_events
+    )
+    metrics.gauge("sim_compactions", "Lazy-deletion heap compactions").set(
+        simulator.compactions
+    )
+
+
+def collect_datagram_pool(metrics: MetricsRegistry, pool) -> None:
+    """Scrape the datagram/buffer pool allocation and reuse counters."""
+    if not metrics.enabled:
+        return
+    for name, value in pool.counters().items():
+        metrics.gauge(f"pool_{name}", "DatagramPool counter (see netsim.packet)").set(
+            value
+        )
+
+
+def collect_network(metrics: MetricsRegistry, network) -> None:
+    """Scrape a network: link totals, the pool and the simulator."""
+    if not metrics.enabled:
+        return
+    for name, value in network.total_link_statistics().items():
+        metrics.gauge(f"net_{name}", "Aggregate over every link direction").set(value)
+    collect_datagram_pool(metrics, network.datagram_pool)
+    collect_simulator(metrics, network.simulator)
+    trace = network.trace
+    if trace.enabled:
+        for kind in trace.kinds():
+            metrics.gauge(
+                "trace_events", "Recorded TraceRecorder events", labels=("kind",)
+            ).labels(kind).set(trace.count(kind))
+
+
+_QUIC_STAT_FIELDS = (
+    "packets_sent",
+    "packets_received",
+    "bytes_sent",
+    "bytes_received",
+    "retransmissions",
+    "datagrams_sent",
+    "datagrams_received",
+    "pings_sent",
+    "liveness_transitions",
+)
+
+
+def _scrape_quic(totals: dict[str, int], connection) -> None:
+    statistics = connection.statistics
+    for field in _QUIC_STAT_FIELDS:
+        totals[field] += getattr(statistics, field)
+
+
+def collect_relay_tree(metrics: MetricsRegistry, tree) -> None:
+    """Scrape a relay tree: per-tier relay/link counters, the subscriber
+    edge, and QUIC transport totals grouped by connection role.
+
+    ``tree`` is anything with ``tiers`` / ``subscribers`` / ``network``
+    (:class:`~repro.relaynet.builder.RelayTree` or the underlying
+    :class:`~repro.relaynet.topology.RelayTopology`).
+    """
+    if not metrics.enabled:
+        return
+    network = tree.network
+    tier_gauges = {
+        name: metrics.gauge(f"relaynet_{name}", help_text, labels=("tier",))
+        for name, help_text in (
+            ("relays", "Relays ever built in the tier"),
+            ("uplink_bytes", "Bytes over the tier's uplinks (fan-out direction)"),
+            ("objects_received", "Objects arriving from upstream"),
+            ("objects_forwarded", "Object copies sent downstream"),
+            ("cache_hits", "FETCHes served from the tier's caches"),
+            ("cache_misses", "FETCHes forwarded upstream"),
+        )
+    }
+    quic_totals: dict[str, dict[str, int]] = {
+        "relay-uplink": {field: 0 for field in _QUIC_STAT_FIELDS},
+        "relay-downstream": {field: 0 for field in _QUIC_STAT_FIELDS},
+        "subscriber": {field: 0 for field in _QUIC_STAT_FIELDS},
+    }
+    recovery_fetches = 0
+    recovered_objects = 0
+    duplicate_drops = 0
+    uplink_failures = 0
+    upstream_switches = 0
+    for nodes in tree.tiers:
+        if not nodes:
+            continue
+        tier = nodes[0].tier_name
+        uplink_bytes = 0
+        objects_received = 0
+        objects_forwarded = 0
+        cache_hits = 0
+        cache_misses = 0
+        for node in nodes:
+            if network.has_link(node.upstream_host, node.host.address):
+                uplink_bytes += network.link(
+                    node.upstream_host, node.host.address
+                ).statistics.bytes_sent
+            statistics = node.relay.statistics
+            objects_received += statistics.objects_received
+            objects_forwarded += statistics.objects_forwarded
+            cache_hits += statistics.fetches_served_from_cache
+            cache_misses += statistics.fetches_forwarded_upstream
+            recovery_fetches += statistics.recovery_fetches
+            recovered_objects += statistics.recovered_objects
+            duplicate_drops += statistics.duplicate_objects_dropped
+            uplink_failures += statistics.uplink_failures_detected
+            upstream_switches += statistics.upstream_switches
+            uplink = node.relay.upstream_quic_connection
+            if uplink is not None:
+                _scrape_quic(quic_totals["relay-uplink"], uplink)
+            for session in node.relay.downstream_sessions():
+                _scrape_quic(quic_totals["relay-downstream"], session.connection)
+        tier_gauges["relays"].labels(tier).set(len(nodes))
+        tier_gauges["uplink_bytes"].labels(tier).set(uplink_bytes)
+        tier_gauges["objects_received"].labels(tier).set(objects_received)
+        tier_gauges["objects_forwarded"].labels(tier).set(objects_forwarded)
+        tier_gauges["cache_hits"].labels(tier).set(cache_hits)
+        tier_gauges["cache_misses"].labels(tier).set(cache_misses)
+    subscriber_bytes = 0
+    subscriber_objects = 0
+    duplicates = 0
+    gap_fetches = 0
+    reattaches = 0
+    for subscriber in tree.subscribers:
+        if network.has_link(subscriber.leaf.host.address, subscriber.host.address):
+            subscriber_bytes += network.link(
+                subscriber.leaf.host.address, subscriber.host.address
+            ).statistics.bytes_sent
+        subscriber_objects += subscriber.objects_delivered
+        duplicates += subscriber.duplicates_dropped
+        gap_fetches += subscriber.gap_fetches
+        reattaches += subscriber.reattach_count
+        _scrape_quic(quic_totals["subscriber"], subscriber.session.connection)
+    metrics.gauge("relaynet_subscribers", "Subscribers attached to the tree").set(
+        len(tree.subscribers)
+    )
+    metrics.gauge(
+        "relaynet_subscriber_link_bytes", "Bytes over the subscriber access links"
+    ).set(subscriber_bytes)
+    metrics.gauge(
+        "relaynet_subscriber_objects_delivered",
+        "Distinct objects handed to subscriber callbacks",
+    ).set(subscriber_objects)
+    metrics.gauge(
+        "relaynet_duplicates_dropped",
+        "Duplicate deliveries suppressed (relays + subscribers)",
+    ).set(duplicate_drops + duplicates)
+    metrics.gauge("relaynet_recovery_fetches", "Gap FETCHes issued by relays").set(
+        recovery_fetches
+    )
+    metrics.gauge("relaynet_recovered_objects", "Objects recovered via FETCH").set(
+        recovered_objects
+    )
+    metrics.gauge("relaynet_subscriber_gap_fetches", "Gap FETCHes by subscribers").set(
+        gap_fetches
+    )
+    metrics.gauge("relaynet_subscriber_reattaches", "Subscriber leaf re-attachments").set(
+        reattaches
+    )
+    metrics.gauge(
+        "relaynet_uplink_failures_detected",
+        "Uplink deaths noticed through transport liveness",
+    ).set(uplink_failures)
+    metrics.gauge("relaynet_upstream_switches", "Relay uplink re-parent operations").set(
+        upstream_switches
+    )
+    quic_gauge = {
+        field: metrics.gauge(
+            f"quic_{field}", "QUIC connection totals by role", labels=("role",)
+        )
+        for field in _QUIC_STAT_FIELDS
+    }
+    for role, totals in quic_totals.items():
+        for field, value in totals.items():
+            quic_gauge[field].labels(role).set(value)
+
+
+def collect_run(metrics: MetricsRegistry, network, tree=None) -> None:
+    """One-call scrape at the end of a run: network (+ pool + simulator)
+    and, when given, the relay tree with its QUIC transport totals."""
+    if not metrics.enabled:
+        return
+    collect_network(metrics, network)
+    if tree is not None:
+        collect_relay_tree(metrics, tree)

@@ -1,0 +1,172 @@
+"""Exporters: Prometheus text exposition, JSONL dumps, summary tables.
+
+Three output shapes for the same telemetry:
+
+* :func:`render_prometheus` — the standard text exposition format, so a
+  run's final state can be diffed, scraped or loaded into any Prometheus
+  tooling;
+* :func:`write_spans_jsonl` / :func:`spans_to_records` — one JSON object
+  per traced span (push, hops, deliveries, per-delivery tier segments), the
+  flight-recorder dump CI uploads as an artifact;
+* :func:`render_metrics_table` / :func:`render_tier_breakdown` — human
+  tables through the same :func:`repro.experiments.report.format_table`
+  renderer every experiment already uses (imported lazily: the experiments
+  package sits above netsim, which imports :mod:`repro.telemetry`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+from repro.telemetry.spans import SpanTracer
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_suffix(names: tuple[str, ...], values: tuple[str, ...], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(value)}"' for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for child in metric.children():
+            labels = _label_suffix(child.label_names, child.label_values)
+            if isinstance(child, Histogram):
+                for bound, count in child.bucket_counts():
+                    le = _label_suffix(
+                        child.label_names,
+                        child.label_values,
+                        f'le="{_format_value(bound)}"',
+                    )
+                    lines.append(f"{child.name}_bucket{le} {count}")
+                lines.append(f"{child.name}_sum{labels} {_format_value(child.sum)}")
+                lines.append(f"{child.name}_count{labels} {child.count}")
+            else:
+                lines.append(f"{child.name}{labels} {_format_value(child.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(registry: MetricsRegistry, path) -> None:
+    """Write the text exposition to ``path``."""
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(render_prometheus(registry))
+
+
+# ------------------------------------------------------------------ JSON(L)
+def spans_to_records(tracer: SpanTracer) -> list[dict[str, object]]:
+    """One JSON-friendly record per traced span."""
+    records: list[dict[str, object]] = []
+    for span in tracer.spans():
+        records.append(
+            {
+                "location": [span.location.group_id, span.location.object_id],
+                "push_time": span.push_time,
+                "hops": [
+                    {"host": host, "tier": tier, "upstream": upstream, "time": time}
+                    for host, (tier, upstream, time) in span.hops.items()
+                ],
+                "deliveries": [
+                    {"leaf": leaf, "subscriber": index, "time": time}
+                    for leaf, index, time in span.deliveries
+                ],
+            }
+        )
+    return records
+
+
+def write_spans_jsonl(tracer: SpanTracer, path) -> int:
+    """Dump every span as one JSON line; returns the number of lines."""
+    records = spans_to_records(tracer)
+    with open(path, "w", encoding="utf-8") as stream:
+        _write_jsonl(stream, records)
+    return len(records)
+
+
+def _write_jsonl(stream: IO[str], records: list[dict[str, object]]) -> None:
+    for record in records:
+        stream.write(json.dumps(record, separators=(",", ":")))
+        stream.write("\n")
+
+
+def write_metrics_snapshot(
+    registry: MetricsRegistry, path, spans: SpanTracer | None = None
+) -> dict[str, object]:
+    """Write a combined JSON snapshot (metrics + optional span summary)."""
+    snapshot: dict[str, object] = {"metrics": registry.snapshot()}
+    if spans is not None:
+        snapshot["spans"] = spans.summary()
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(snapshot, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    return snapshot
+
+
+# ------------------------------------------------------------------- tables
+def render_metrics_table(registry: MetricsRegistry) -> str:
+    """Every instrument as a name/labels/value table (histograms summarised)."""
+    from repro.experiments.report import format_table  # lazy: avoids import cycle
+
+    rows: list[dict[str, object]] = []
+    for metric in registry.collect():
+        for child in metric.children():
+            labels = ",".join(
+                f"{name}={value}"
+                for name, value in zip(child.label_names, child.label_values)
+            )
+            if isinstance(child, Histogram):
+                summary = child.summary()
+                value = (
+                    f"count={int(summary['count'])} "
+                    f"p50={summary['p50']:.6g} p99={summary['p99']:.6g}"
+                )
+            else:
+                value = _format_value(child.value)
+            rows.append(
+                {"metric": child.name, "labels": labels, "type": child.kind, "value": value}
+            )
+    if not rows:
+        return "(no metrics recorded)"
+    return format_table(rows, ["metric", "labels", "type", "value"])
+
+
+def render_tier_breakdown(tracer: SpanTracer) -> str:
+    """The per-tier latency breakdown as a report table."""
+    from repro.experiments.report import format_table  # lazy: avoids import cycle
+
+    rows = tracer.tier_breakdown()
+    if not any(row["count"] for row in rows):
+        return "(no sampled deliveries)"
+    formatted = [
+        {
+            "tier": row["tier"],
+            "count": row["count"],
+            "p50_ms": f"{row['p50_ms']:.3f}",
+            "p99_ms": f"{row['p99_ms']:.3f}",
+            "mean_ms": f"{row['mean_ms']:.3f}",
+            "max_ms": f"{row['max_ms']:.3f}",
+        }
+        for row in rows
+    ]
+    return format_table(formatted, ["tier", "count", "p50_ms", "p99_ms", "mean_ms", "max_ms"])

@@ -1,0 +1,490 @@
+"""Tests for the flightdeck telemetry layer.
+
+Covers the metrics registry (idempotent registration, label families, the
+zero-cost ``NullMetrics`` default), virtual-time span tracing (sampling,
+chain reconstruction, the telescoping-segments invariant), the trace
+recorder satellites (O(1) ``count``/``kinds``, lazy materialisation
+caching, ``NullTraceRecorder`` listener rejection), collectors, exporters,
+and the headline determinism contract: seeded experiment outputs are
+bit-identical with telemetry enabled or disabled.
+"""
+
+from __future__ import annotations
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro.experiments.failure_detection import run_failure_detection
+from repro.experiments.relay_churn import run_relay_churn
+from repro.experiments.relay_fanout import run_relay_fanout
+from repro.moqt.objectmodel import Location
+from repro.netsim.network import Network
+from repro.netsim.simulator import Simulator
+from repro.netsim.trace import NullTraceRecorder, TraceRecorder
+from repro.telemetry import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NullMetrics,
+    SpanTracer,
+    Telemetry,
+)
+from repro.telemetry.collect import collect_network, collect_run, collect_simulator
+from repro.telemetry.export import (
+    render_metrics_table,
+    render_prometheus,
+    render_tier_breakdown,
+    spans_to_records,
+    write_metrics_snapshot,
+    write_prometheus,
+    write_spans_jsonl,
+)
+
+
+class TestMetricsRegistry:
+    def test_counter_inc_and_snapshot(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests", "Total requests")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.snapshot() == {"requests": 5}
+
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits")
+        second = registry.counter("hits")
+        assert first is second
+
+    def test_type_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricError):
+            registry.gauge("x")
+        with pytest.raises(MetricError):
+            registry.histogram("x")
+
+    def test_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("labelled", labels=("tier",))
+        with pytest.raises(MetricError):
+            registry.counter("labelled", labels=("role",))
+
+    def test_counter_rejects_decrease(self):
+        counter = MetricsRegistry().counter("mono")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.inc(10)
+        gauge.dec(3)
+        gauge.set(4)
+        assert gauge.value == 4
+
+    def test_labels_cached_per_value_tuple(self):
+        registry = MetricsRegistry()
+        family = registry.counter("per_tier", labels=("tier",))
+        assert family.is_family
+        child = family.labels("mid")
+        assert family.labels("mid") is child
+        assert family.labels("edge") is not child
+        child.inc(2)
+        assert registry.snapshot() == {"per_tier": {"tier=mid": 2, "tier=edge": 0}}
+
+    def test_family_parent_rejects_direct_inc(self):
+        family = MetricsRegistry().counter("fam", labels=("a",))
+        with pytest.raises(MetricError):
+            family.inc()
+
+    def test_unlabelled_rejects_labels(self):
+        counter = MetricsRegistry().counter("plain")
+        with pytest.raises(MetricError):
+            counter.labels("x")
+
+    def test_wrong_label_arity_raises(self):
+        family = MetricsRegistry().counter("fam", labels=("a", "b"))
+        with pytest.raises(MetricError):
+            family.labels("only-one")
+
+    def test_histogram_percentiles_and_buckets(self):
+        hist = MetricsRegistry().histogram("lat", buckets=(0.1, 1.0, float("inf")))
+        for value in (0.05, 0.2, 0.5, 2.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(2.75)
+        assert hist.percentile(0) == pytest.approx(0.05)
+        assert hist.percentile(100) == pytest.approx(2.0)
+        assert hist.percentile(50) == pytest.approx(0.35)
+        assert hist.bucket_counts() == [(0.1, 1), (1.0, 3), (float("inf"), 4)]
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["min"] == pytest.approx(0.05)
+        assert summary["max"] == pytest.approx(2.0)
+
+    def test_collect_preserves_registration_order(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        registry.histogram("c")
+        assert [m.name for m in registry.collect()] == ["a", "b", "c"]
+        assert [m.kind for m in registry.collect()] == ["counter", "gauge", "histogram"]
+
+
+class TestNullMetrics:
+    def test_singleton_instruments(self):
+        null = NullMetrics()
+        assert null.counter("a") is null.counter("b")
+        assert null.gauge("a") is null.gauge("b")
+        assert null.histogram("a") is null.histogram("b")
+        assert null.counter("x").labels("anything") is null.counter("x")
+        assert not null.enabled
+        assert null.collect() == []
+        assert null.snapshot() == {}
+
+    def test_null_instruments_record_nothing(self):
+        counter = NULL_METRICS.counter("c")
+        counter.inc(100)
+        counter.set(7)
+        assert counter.value == 0
+        hist = NULL_METRICS.histogram("h")
+        hist.observe(1.0)
+        assert hist.count == 0 and hist.samples == []
+
+    def test_disabled_path_allocates_nothing(self):
+        """The hot-path cost of disabled telemetry is zero allocations."""
+        counter = NULL_METRICS.counter("c")
+        gauge = NULL_METRICS.gauge("g")
+        hist = NULL_METRICS.histogram("h")
+        spins = list(range(1000))
+        tracemalloc.start()
+        for _ in spins:
+            counter.inc()
+            counter.labels("tier").inc()
+            gauge.set(5)
+            hist.observe(1.0)
+        current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert current == 0
+        assert peak <= 512  # transient interpreter noise only
+
+    def test_network_defaults_to_disabled_telemetry(self):
+        network = Network(Simulator(seed=1))
+        assert isinstance(network.telemetry, Telemetry)
+        assert not network.telemetry.enabled
+        assert network.telemetry.metrics is NULL_METRICS
+        assert network.telemetry.spans is None
+
+
+class TestSpanTracer:
+    def _traced_delivery(self) -> SpanTracer:
+        """Origin -> mid -> edge -> subscriber with known timestamps."""
+        tracer = SpanTracer()
+        loc = Location(group_id=2, object_id=0)
+        tracer.record_push(loc, 1.0)
+        tracer.record_hop(loc, "mid", "relay-mid-0", "origin", 1.02)
+        tracer.record_hop(loc, "edge", "relay-edge-0", "relay-mid-0", 1.03)
+        tracer.record_delivery(loc, "relay-edge-0", 0, 1.035)
+        return tracer
+
+    def test_segments_telescope_to_end_to_end(self):
+        tracer = self._traced_delivery()
+        (record,) = tracer.delivery_breakdowns()
+        assert record["segments"] == pytest.approx(
+            {"mid": 0.02, "edge": 0.01, "subscribers": 0.005}
+        )
+        assert sum(record["segments"].values()) == pytest.approx(record["end_to_end"])
+        assert record["end_to_end"] == pytest.approx(0.035)
+
+    def test_tier_breakdown_rows(self):
+        rows = self._traced_delivery().tier_breakdown()
+        by_tier = {row["tier"]: row for row in rows}
+        assert set(by_tier) == {"mid", "edge", "subscribers", "end_to_end"}
+        assert by_tier["end_to_end"]["p50_ms"] == pytest.approx(35.0)
+        assert by_tier["mid"]["count"] == 1
+
+    def test_group_sampling_stride(self):
+        tracer = SpanTracer(sample_every=10)
+        for group in range(25):
+            tracer.record_push(Location(group_id=group, object_id=0), float(group))
+        assert tracer.span_count == 3  # groups 0, 10, 20
+        # Hops and deliveries for unsampled groups fall through silently.
+        tracer.record_hop(Location(group_id=3, object_id=0), "mid", "r", "o", 3.1)
+        tracer.record_delivery(Location(group_id=3, object_id=0), "r", 0, 3.2)
+        assert tracer.delivery_count == 0
+
+    def test_subscriber_sampling_stride(self):
+        tracer = SpanTracer(subscriber_sample_every=3)
+        loc = Location(group_id=0, object_id=0)
+        tracer.record_push(loc, 0.0)
+        for index in range(9):
+            tracer.record_delivery(loc, "leaf", index, 0.5)
+        assert tracer.delivery_count == 3  # indices 0, 3, 6
+
+    def test_max_spans_flight_recorder_cap(self):
+        tracer = SpanTracer(max_spans=2)
+        for group in range(5):
+            tracer.record_push(Location(group_id=group, object_id=0), 0.0)
+        assert tracer.span_count == 2
+        assert tracer.dropped_spans == 3
+        tracer.clear()
+        assert tracer.span_count == 0 and tracer.dropped_spans == 0
+
+    def test_duplicate_push_keeps_first_timeline(self):
+        tracer = SpanTracer()
+        loc = Location(group_id=0, object_id=0)
+        tracer.record_push(loc, 1.0)
+        tracer.record_push(loc, 9.0)
+        assert tracer.spans()[0].push_time == 1.0
+
+    def test_first_hop_per_host_wins(self):
+        tracer = SpanTracer()
+        loc = Location(group_id=0, object_id=0)
+        tracer.record_push(loc, 0.0)
+        tracer.record_hop(loc, "mid", "relay", "origin", 0.5)
+        tracer.record_hop(loc, "mid", "relay", "origin", 0.9)
+        assert tracer.spans()[0].hops["relay"] == ("mid", "origin", 0.5)
+
+    def test_unreconstructable_chain_skipped(self):
+        """A delivery whose leaf has no hop record yields no breakdown."""
+        tracer = SpanTracer()
+        loc = Location(group_id=0, object_id=0)
+        tracer.record_push(loc, 0.0)
+        tracer.record_delivery(loc, "never-forwarded", 0, 1.0)
+        assert tracer.delivery_breakdowns() == []
+
+    def test_invalid_strides_rejected(self):
+        with pytest.raises(ValueError):
+            SpanTracer(sample_every=0)
+        with pytest.raises(ValueError):
+            SpanTracer(subscriber_sample_every=0)
+
+    def test_summary_shape(self):
+        summary = self._traced_delivery().summary()
+        assert summary["spans"] == 1
+        assert summary["deliveries"] == 1
+        assert summary["dropped_spans"] == 0
+        assert any(row["tier"] == "end_to_end" for row in summary["tiers"])
+
+
+class TestTraceRecorderSatellites:
+    def test_count_is_incremental(self):
+        recorder = TraceRecorder(Simulator(seed=1))
+        for _ in range(5):
+            recorder.record("datagram-sent", size=10)
+        recorder.record("subscribe-ok")
+        assert recorder.count("datagram-sent") == 5
+        assert recorder.count("subscribe-ok") == 1
+        assert recorder.count("missing") == 0
+        assert recorder.count() == 6
+        # count() must not materialise TraceEvent objects.
+        assert recorder._materialized == []
+
+    def test_kinds_in_first_occurrence_order(self):
+        recorder = TraceRecorder(Simulator(seed=1))
+        recorder.record("b")
+        recorder.record("a")
+        recorder.record("b")
+        assert recorder.kinds() == ["b", "a"]
+
+    def test_lazy_materialisation_is_cached(self):
+        recorder = TraceRecorder(Simulator(seed=1))
+        recorder.record("first", x=1)
+        events_once = recorder.events()
+        events_twice = recorder.events()
+        assert events_once[0] is events_twice[0]
+        recorder.record("second", y=2)
+        # Incremental: the old event object survives, only the new one is built.
+        assert recorder.events()[0] is events_once[0]
+        assert [event.kind for event in recorder.events()] == ["first", "second"]
+
+    def test_clear_resets_counts(self):
+        recorder = TraceRecorder(Simulator(seed=1))
+        recorder.record("x")
+        recorder.clear()
+        assert recorder.count("x") == 0
+        assert recorder.kinds() == []
+
+    def test_null_recorder_rejects_listeners(self):
+        recorder = NullTraceRecorder(Simulator(seed=1))
+        with pytest.raises(RuntimeError):
+            recorder.subscribe(lambda event: None)
+
+    def test_null_recorder_drops_events(self):
+        recorder = NullTraceRecorder(Simulator(seed=1))
+        recorder.record("anything")
+        assert recorder.count() == 0
+
+
+class TestCollectors:
+    def test_collect_is_noop_when_disabled(self):
+        network = Network(Simulator(seed=1))
+        collect_run(NULL_METRICS, network)
+        assert NULL_METRICS.snapshot() == {}
+
+    def test_collect_simulator_gauges(self):
+        simulator = Simulator(seed=1)
+        simulator.call_later(1.0, lambda: None)
+        simulator.run(until=2.0)
+        metrics = MetricsRegistry()
+        collect_simulator(metrics, simulator)
+        snapshot = metrics.snapshot()
+        assert snapshot["sim_virtual_time_seconds"] == pytest.approx(2.0)
+        assert snapshot["sim_events_scheduled"] >= 1
+
+    def test_collect_network_scrapes_pool_and_trace(self):
+        network = Network(Simulator(seed=1))
+        network.trace.record("custom-kind")
+        metrics = MetricsRegistry()
+        collect_network(metrics, network)
+        snapshot = metrics.snapshot()
+        assert "pool_datagrams_allocated" in snapshot
+        assert "net_datagrams_sent" in snapshot
+        assert snapshot["trace_events"] == {"kind=custom-kind": 1}
+
+
+class TestExporters:
+    def _registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("plain", "A plain counter").inc(3)
+        registry.gauge("per_tier", "By tier", labels=("tier",)).labels("mid").set(7)
+        hist = registry.histogram("lat", "Latency", buckets=(0.1, float("inf")))
+        hist.observe(0.05)
+        hist.observe(0.2)
+        return registry
+
+    def test_prometheus_exposition(self):
+        text = render_prometheus(self._registry())
+        assert "# HELP plain A plain counter" in text
+        assert "# TYPE plain counter" in text
+        assert "plain 3" in text
+        assert 'per_tier{tier="mid"} 7' in text
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_sum 0.25" in text
+        assert "lat_count 2" in text
+
+    def test_prometheus_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", labels=("name",)).labels('a"b\\c\nd').set(1)
+        text = render_prometheus(registry)
+        assert 'g{name="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_write_prometheus(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus(self._registry(), path)
+        assert "plain 3" in path.read_text()
+
+    def test_spans_jsonl_roundtrip(self, tmp_path):
+        tracer = SpanTracer()
+        loc = Location(group_id=0, object_id=0)
+        tracer.record_push(loc, 1.0)
+        tracer.record_hop(loc, "mid", "relay", "origin", 1.5)
+        tracer.record_delivery(loc, "relay", 4, 2.0)
+        path = tmp_path / "spans.jsonl"
+        assert write_spans_jsonl(tracer, path) == 1
+        (record,) = [json.loads(line) for line in path.read_text().splitlines()]
+        assert record == spans_to_records(tracer)[0]
+        assert record["location"] == [0, 0]
+        assert record["hops"] == [
+            {"host": "relay", "tier": "mid", "upstream": "origin", "time": 1.5}
+        ]
+        assert record["deliveries"] == [{"leaf": "relay", "subscriber": 4, "time": 2.0}]
+
+    def test_metrics_snapshot_file(self, tmp_path):
+        path = tmp_path / "snapshot.json"
+        tracer = SpanTracer()
+        written = write_metrics_snapshot(self._registry(), path, spans=tracer)
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(written))
+        assert loaded["metrics"]["plain"] == 3
+        assert loaded["spans"]["spans"] == 0
+
+    def test_tables_render(self):
+        table = render_metrics_table(self._registry())
+        assert "plain" in table and "tier=mid" in table
+        assert render_metrics_table(MetricsRegistry()) == "(no metrics recorded)"
+        assert render_tier_breakdown(SpanTracer()) == "(no sampled deliveries)"
+
+
+def _fanout_fingerprint(result):
+    return [
+        (
+            sample.subscribers,
+            sample.measured_origin_objects,
+            sample.measured_tier_bytes,
+            sample.measured_tier_objects,
+            sample.delivered_objects,
+            sample.events_scheduled,
+        )
+        for sample in result.samples
+    ]
+
+
+class TestDeterminismContract:
+    """Seeded outputs must be bit-identical with telemetry on or off."""
+
+    def test_e11_identical_with_telemetry(self):
+        baseline = run_relay_fanout(subscriber_counts=(10, 100))
+        telemetry = Telemetry(metrics=MetricsRegistry(), spans=SpanTracer())
+        traced = run_relay_fanout(subscriber_counts=(10, 100), telemetry=telemetry)
+        assert _fanout_fingerprint(baseline) == _fanout_fingerprint(traced)
+        # The E11 acceptance canaries (see ROADMAP): 20 origin objects and
+        # 6560 origin-egress bytes, independent of subscriber count.
+        first = baseline.samples[0]
+        assert first.measured_origin_objects == 20
+        assert first.measured_tier_bytes[0] == 6560
+
+    def test_e11_breakdowns_telescope(self):
+        telemetry = Telemetry(metrics=MetricsRegistry(), spans=SpanTracer())
+        run_relay_fanout(subscriber_counts=(10,), telemetry=telemetry)
+        breakdowns = telemetry.spans.delivery_breakdowns()
+        assert breakdowns
+        for record in breakdowns:
+            assert sum(record["segments"].values()) == pytest.approx(
+                record["end_to_end"], abs=1e-12
+            )
+
+    def test_e11_metrics_collected(self):
+        telemetry = Telemetry(metrics=MetricsRegistry(), spans=SpanTracer())
+        result = run_relay_fanout(subscriber_counts=(10,), telemetry=telemetry)
+        snapshot = telemetry.metrics.snapshot()
+        assert snapshot["relaynet_subscribers"] == 10
+        assert (
+            snapshot["relaynet_subscriber_objects_delivered"]
+            == result.samples[-1].delivered_objects
+        )
+        assert result.samples[-1].latency is not None
+        assert result.samples[-1].pool_counters is not None
+
+    def test_e12_identical_with_telemetry(self):
+        baseline = run_relay_churn(subscribers=200)
+        telemetry = Telemetry(
+            metrics=MetricsRegistry(), spans=SpanTracer(subscriber_sample_every=7)
+        )
+        traced = run_relay_churn(subscribers=200, telemetry=telemetry)
+        assert baseline.delivery_sequences == traced.delivery_sequences
+        assert [
+            (kill.killed, kill.at, kill.latencies_by_tier) for kill in baseline.kills
+        ] == [(kill.killed, kill.at, kill.latencies_by_tier) for kill in traced.kills]
+        assert baseline.gapless and traced.gapless
+        assert telemetry.metrics.snapshot()["relaynet_subscriber_reattaches"] > 0
+
+    def test_e13_identical_with_telemetry(self):
+        baseline = run_failure_detection(subscribers=200)
+        telemetry = Telemetry(
+            metrics=MetricsRegistry(), spans=SpanTracer(subscriber_sample_every=7)
+        )
+        traced = run_failure_detection(subscribers=200, telemetry=telemetry)
+        assert [
+            (s.killed, s.detected_via, s.detection_latency) for s in baseline.samples
+        ] == [(s.killed, s.detected_via, s.detection_latency) for s in traced.samples]
+        assert baseline.delivery_sequences == traced.delivery_sequences
+        assert baseline.delivered_objects == traced.delivered_objects
+        # The E13 acceptance canary: PTO-path detection at 544.277 ms.
+        assert round(baseline.samples[0].detection_latency * 1000, 3) == 544.277
