@@ -26,7 +26,13 @@ Micro and macro layers cover the simulation fast path end to end:
   a mid-tier and an edge relay *silently* (zero control-plane kill signals)
   and assert delivery stays gapless end to end with failover driven purely
   by QUIC liveness (PTO-suspect and idle-timeout paths, both matching the
-  closed-form detection model).
+  closed-form detection model);
+* ``origin_failover`` — the E14 replicated-origin macro-benchmark: crash
+  the *active origin* silently under a live 1,000-subscriber tree and
+  assert the in-band promotion (detect -> elect -> transplant) keeps every
+  subscriber gapless, with the measured promotion latency matching the
+  closed-form model in ``repro.analysis.promotion`` and zero control-plane
+  signals end to end.
 
 Results are written to ``BENCH_fastpath.json`` (schema documented in
 ``benchmarks/perf/README.md``) so the performance trajectory of the repo is
@@ -59,6 +65,7 @@ from contextlib import contextmanager
 from pathlib import Path
 
 from repro.experiments.failure_detection import run_failure_detection
+from repro.experiments.origin_failover import run_origin_failover
 from repro.experiments.relay_churn import run_relay_churn
 from repro.experiments.relay_fanout import run_relay_fanout
 from repro.netsim.simulator import Simulator, Timer
@@ -76,7 +83,7 @@ from repro.telemetry.export import (
     write_prometheus,
 )
 
-SCHEMA = "bench-fastpath/v5"
+SCHEMA = "bench-fastpath/v6"
 
 #: Relative throughput loss beyond which ``--check`` fails the run.  Wide
 #: enough to absorb runner-class jitter (documented in the README); narrow
@@ -118,6 +125,7 @@ BENCHMARK_KEYS = (
     "relay_fanout_e11",
     "relay_churn",
     "failure_detection",
+    "origin_failover",
     "cdn_macro_10k",
     "cdn_macro_100k",
 )
@@ -486,6 +494,56 @@ def bench_failure_detection(
     }
 
 
+def bench_origin_failover(
+    subscribers: int = 1000, telemetry: Telemetry | None = None
+) -> dict[str, object]:
+    """E14 macro-benchmark: silent active-origin crash, in-band promotion.
+
+    The origin is replicated (one active + one warm standby); the active is
+    crashed silently mid-stream.  The tier-0 relays' keepalive'd uplinks
+    must detect the death, elect the standby (epoch-numbered, first
+    detector wins) and transplant every tier-0 subscription with a gap
+    FETCH against the standby's warm cache.  The correctness fields are
+    machine-independent: delivery must stay gapless for every subscriber,
+    the measured detection *and* end-to-end promotion latencies must match
+    the closed-form model in ``repro.analysis.promotion``, and no
+    control-plane signal or false-positive failover may occur.
+    """
+    with quiesced_gc():
+        start = time.perf_counter()
+        result = run_origin_failover(subscribers=subscribers, telemetry=telemetry)
+        elapsed = time.perf_counter() - start
+    return {
+        "subscribers": subscribers,
+        "updates": result.updates,
+        "origins": result.origins,
+        "epoch": result.epoch,
+        "control_plane_kills": result.control_plane_kills,
+        "seconds": round(elapsed, 6),
+        "delivered_objects": result.delivered_objects,
+        "expected_objects": result.expected_objects,
+        "gapless_subscribers": result.gapless_subscribers,
+        "gapless_ok": result.gapless,
+        "duplicates_dropped": result.duplicates_dropped,
+        "recovery_fetches": result.recovery_fetches,
+        "replayed_objects": result.replayed_objects,
+        "reattached_relays": result.reattached_relays,
+        "false_positive_events": result.false_positive_events,
+        "promotion_latency": {
+            "path": result.detected_via,
+            "detect_ms": round((result.detection_latency or -1.0) * 1000, 3),
+            "model_detect_ms": round(result.model.detection_latency * 1000, 3),
+            "promotion_ms": round((result.promotion_latency or -1.0) * 1000, 3),
+            "model_promotion_ms": round(result.model.promotion_latency * 1000, 3),
+        },
+        "detection_model_ok": result.detection_model_ok,
+        "promotion_model_ok": result.promotion_model_ok,
+        "failover_complete_ok": result.event is not None
+        and result.event.complete
+        and result.epoch == 1,
+    }
+
+
 def run(
     smoke: bool = False,
     skip_macro: bool = False,
@@ -539,6 +597,11 @@ def run(
             subscribers=200 if smoke else 1000, telemetry=telemetry
         )
         harvest("failure_detection")
+    if selected("origin_failover"):
+        benchmarks["origin_failover"] = bench_origin_failover(
+            subscribers=200 if smoke else 1000, telemetry=telemetry
+        )
+        harvest("origin_failover")
     if not skip_macro and selected("cdn_macro_10k"):
         benchmarks["cdn_macro_10k"] = bench_cdn_macro_10k(telemetry=telemetry)
         harvest("cdn_macro_10k")
@@ -784,6 +847,20 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         if detection["control_plane_kills"] or detection["false_positive_events"]:
             print("FAIL: in-band run used control-plane signals or false positives", file=sys.stderr)
+            return 1
+    failover = benchmarks.get("origin_failover")
+    if failover is not None:
+        if not failover["gapless_ok"]:
+            print("FAIL: origin failover broke gapless delivery", file=sys.stderr)
+            return 1
+        if not failover["failover_complete_ok"]:
+            print("FAIL: origin promotion left tier-0 relays unattached", file=sys.stderr)
+            return 1
+        if not (failover["detection_model_ok"] and failover["promotion_model_ok"]):
+            print("FAIL: promotion latency diverged from the closed-form model", file=sys.stderr)
+            return 1
+        if failover["control_plane_kills"] or failover["false_positive_events"]:
+            print("FAIL: origin failover used control-plane signals or false positives", file=sys.stderr)
             return 1
     if args.check:
         failures = check_against_reference(document, Path(args.check))

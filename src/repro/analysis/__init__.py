@@ -20,7 +20,9 @@ with the corresponding model here, so discrepancies are caught by tests.
 * :mod:`repro.analysis.churn` — re-attach latency and FETCH gap-recovery
   bounds for relay failover under a live tree;
 * :mod:`repro.analysis.detection` — in-band failure-detection latency
-  (QUIC PTO-suspect and idle-timeout paths) stacked on the re-attach floor.
+  (QUIC PTO-suspect and idle-timeout paths) stacked on the re-attach floor;
+* :mod:`repro.analysis.promotion` — origin-promotion latency for the
+  replicated origin: detection + election + the tier-0 re-attach floor.
 """
 
 from repro.analysis.latency_model import (
@@ -71,6 +73,11 @@ from repro.analysis.detection import (
     pto_fire_offsets,
     suspect_latency,
 )
+from repro.analysis.promotion import (
+    ELECTION_LATENCY,
+    PromotionModel,
+    promotion_model,
+)
 
 __all__ = [
     "TransportScenario",
@@ -105,4 +112,7 @@ __all__ = [
     "give_up_latency",
     "pto_fire_offsets",
     "suspect_latency",
+    "ELECTION_LATENCY",
+    "PromotionModel",
+    "promotion_model",
 ]

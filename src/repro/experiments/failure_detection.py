@@ -58,7 +58,7 @@ from repro.netsim.packet import Address
 from repro.netsim.simulator import Simulator
 from repro.netsim.trace import NullTraceRecorder
 from repro.quic.connection import ConnectionConfig
-from repro.relaynet import FailoverEvent, RelayTreeSpec
+from repro.relaynet import FailoverEvent, OriginCluster, RelayTreeSpec
 from repro.relaynet.topology import RelayNode, RelayTopology
 from repro.telemetry import Telemetry
 from repro.telemetry.collect import collect_run
@@ -302,6 +302,7 @@ def run_failure_detection(
     seed: int = 29,
     keepalive_interval: float = 0.5,
     subscriber_idle_timeout: float = 1.5,
+    origins: int = 1,
     telemetry: Telemetry | None = None,
 ) -> FailureDetectionResult:
     """Crash relays silently under a live CDN tree; recover purely in-band.
@@ -312,13 +313,28 @@ def run_failure_detection(
     edge relay (its subscribers detect via idle expiry — the idle-timeout
     path), pushes ``updates_after`` more and drains.  No control-plane kill
     signal is ever issued.
+
+    ``origins > 1`` publishes through a replicated
+    :class:`~repro.relaynet.origincluster.OriginCluster`.  No origin is
+    crashed in this experiment, so detection latencies and delivery
+    sequences must be identical either way — the determinism canary the
+    E14 battery locks in.
     """
     simulator = Simulator(seed=seed)
     network = Network(simulator, trace=NullTraceRecorder(simulator), telemetry=telemetry)
     if telemetry is not None and telemetry.spans is not None:
         telemetry.spans.clear()
-    publisher = build_origin(network)
-    spec = RelayTreeSpec.cdn(mid_relays=mid_relays, edge_per_mid=edge_per_mid)
+    spec = RelayTreeSpec.cdn(
+        mid_relays=mid_relays, edge_per_mid=edge_per_mid, origins=origins
+    )
+    origin_cluster = None
+    if spec.origins > 1:
+        origin_cluster = OriginCluster(
+            network, origins=spec.origins, standby_link=spec.tiers[0].uplink
+        )
+        publisher = origin_cluster.publisher
+    else:
+        publisher = build_origin(network)
     topology = RelayTopology(
         network,
         Address(ORIGIN_HOST, ORIGIN_PORT),
@@ -329,6 +345,7 @@ def run_failure_detection(
         subscriber_connection=ConnectionConfig(
             alpn_protocols=(MOQT_ALPN,), idle_timeout=subscriber_idle_timeout
         ),
+        origin_cluster=origin_cluster,
     )
     topology.attach_subscribers(subscribers)
     received: dict[int, list[int]] = {sub.index: [] for sub in topology.subscribers}
@@ -344,13 +361,15 @@ def run_failure_detection(
     def push(count: int) -> None:
         nonlocal next_group
         for _ in range(count):
-            publisher.push(
-                MoqtObject(
-                    group_id=next_group,
-                    object_id=0,
-                    payload=_update_payload(next_group, payload_size),
-                )
+            obj = MoqtObject(
+                group_id=next_group,
+                object_id=0,
+                payload=_update_payload(next_group, payload_size),
             )
+            if origin_cluster is not None:
+                origin_cluster.push(obj)
+            else:
+                publisher.push(obj)
             next_group += 1
             simulator.run(until=simulator.now + UPDATE_INTERVAL)
 
@@ -417,7 +436,7 @@ def run_failure_detection(
             )
     nodes = topology.nodes()
     if telemetry is not None:
-        collect_run(telemetry.metrics, network, topology)
+        collect_run(telemetry.metrics, network, topology, origin_cluster=origin_cluster)
     return FailureDetectionResult(
         subscribers=subscribers,
         updates=updates,

@@ -47,7 +47,12 @@ from repro.netsim.network import Network
 from repro.netsim.packet import Address
 from repro.netsim.simulator import Simulator
 from repro.netsim.trace import NullTraceRecorder
-from repro.relaynet import FailoverEvent, RelayTreeBuilder, RelayTreeSpec
+from repro.relaynet import (
+    FailoverEvent,
+    OriginCluster,
+    RelayTreeBuilder,
+    RelayTreeSpec,
+)
 from repro.relaynet.topology import FailoverPolicy
 from repro.telemetry import Telemetry
 from repro.telemetry.collect import collect_run
@@ -177,6 +182,7 @@ def run_relay_churn(
     seed: int = 23,
     failover_policy: FailoverPolicy | None = None,
     kill_edge: bool = True,
+    origins: int = 1,
     telemetry: Telemetry | None = None,
 ) -> RelayChurnResult:
     """Kill relays under a live CDN tree and measure the recovery.
@@ -187,15 +193,33 @@ def run_relay_churn(
     re-attach to surviving leaves), and pushes ``updates_after`` more.
     Set ``kill_edge=False`` for the single mid-tier kill of the E12
     acceptance run.
+
+    ``origins > 1`` publishes through a replicated
+    :class:`~repro.relaynet.origincluster.OriginCluster` instead of the
+    singleton origin.  No origin is crashed here, so every measured output
+    must be identical either way — the determinism canary the E14 battery
+    locks in.
     """
     simulator = Simulator(seed=seed)
     network = Network(simulator, trace=NullTraceRecorder(simulator), telemetry=telemetry)
     if telemetry is not None and telemetry.spans is not None:
         telemetry.spans.clear()
-    publisher = build_origin(network)
-    spec = RelayTreeSpec.cdn(mid_relays=mid_relays, edge_per_mid=edge_per_mid)
+    spec = RelayTreeSpec.cdn(
+        mid_relays=mid_relays, edge_per_mid=edge_per_mid, origins=origins
+    )
+    origin_cluster = None
+    if spec.origins > 1:
+        origin_cluster = OriginCluster(
+            network, origins=spec.origins, standby_link=spec.tiers[0].uplink
+        )
+        publisher = origin_cluster.publisher
+    else:
+        publisher = build_origin(network)
     builder = RelayTreeBuilder(
-        network, Address(ORIGIN_HOST, ORIGIN_PORT), failover_policy=failover_policy
+        network,
+        Address(ORIGIN_HOST, ORIGIN_PORT),
+        failover_policy=failover_policy,
+        origin_cluster=origin_cluster,
     )
     tree = builder.build(spec)
     tree.attach_subscribers(subscribers)
@@ -210,13 +234,15 @@ def run_relay_churn(
     def push(count: int) -> None:
         nonlocal next_group
         for _ in range(count):
-            publisher.push(
-                MoqtObject(
-                    group_id=next_group,
-                    object_id=0,
-                    payload=_update_payload(next_group, payload_size),
-                )
+            obj = MoqtObject(
+                group_id=next_group,
+                object_id=0,
+                payload=_update_payload(next_group, payload_size),
             )
+            if origin_cluster is not None:
+                origin_cluster.push(obj)
+            else:
+                publisher.push(obj)
             next_group += 1
             simulator.run(until=simulator.now + UPDATE_INTERVAL)
 
@@ -254,7 +280,7 @@ def run_relay_churn(
     subscriber_duplicates = sum(sub.duplicates_dropped for sub in tree.subscribers)
     gap_fetches = sum(sub.gap_fetches for sub in tree.subscribers)
     if telemetry is not None:
-        collect_run(telemetry.metrics, network, tree)
+        collect_run(telemetry.metrics, network, tree, origin_cluster=origin_cluster)
     return RelayChurnResult(
         subscribers=subscribers,
         updates=updates,

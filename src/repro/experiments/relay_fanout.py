@@ -24,102 +24,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.fanout import FanoutModel, fanout_model, relative_deviation
-from repro.moqt.datastream import encode_subgroup_object, encode_subgroup_stream_chunk
-from repro.moqt.objectmodel import MoqtObject, TrackState
-from repro.moqt.relay import MOQT_ALPN
-from repro.moqt.session import FetchResult, MoqtSession, SubscribeResult
-from repro.moqt.track import FullTrackName
+from repro.moqt.objectmodel import MoqtObject
+from repro.moqt.origin import (  # noqa: F401  (historical re-exports)
+    ORIGIN_HOST,
+    ORIGIN_PORT,
+    TRACK,
+    OriginPublisher,
+    build_origin,
+)
+from repro.moqt.relay import MOQT_ALPN  # noqa: F401  (historical re-export)
 from repro.netsim.network import Network
 from repro.netsim.packet import Address
 from repro.netsim.simulator import Simulator
 from repro.netsim.trace import NullTraceRecorder
-from repro.quic.endpoint import QuicEndpoint
-from repro.quic.tls import ServerTlsContext
-from repro.relaynet import RelayNetStats, RelayTreeBuilder, RelayTreeSpec
+from repro.relaynet import OriginCluster, RelayNetStats, RelayTreeBuilder, RelayTreeSpec
 from repro.telemetry import Telemetry
 from repro.telemetry.collect import collect_run
-
-TRACK = FullTrackName.of(["dns", "a"], b"cdn.example")
-ORIGIN_HOST = "origin"
-ORIGIN_PORT = 4443
 
 #: Virtual time between pushed updates (keeps pushes distinguishable in
 #: traces without affecting byte counts — links have no bandwidth limit).
 UPDATE_INTERVAL = 0.25
-
-
-class OriginPublisher:
-    """Origin publisher delegate serving one DNS track to the top tier."""
-
-    def __init__(self, network: Network | None = None) -> None:
-        self.state = TrackState(TRACK)
-        self.state.publish(MoqtObject(group_id=1, object_id=0, payload=b"v1"))
-        self.sessions: list[MoqtSession] = []
-        #: The network the origin host lives on, when known — enables the
-        #: batched, chunk-cached fan-out fast path in :meth:`push`.
-        self.network = network
-
-    def handle_subscribe(self, session, message):
-        return SubscribeResult(ok=True, largest=self.state.largest)
-
-    def handle_fetch(self, session, message, full_track_name):
-        return FetchResult(
-            ok=True, objects=self.state.latest_objects(1), largest=self.state.largest
-        )
-
-    def push(self, obj: MoqtObject) -> None:
-        """Record and push one update to every direct (top-tier) subscriber."""
-        self.state.publish(obj)
-        cached_encoding = encode_subgroup_object(obj)
-        chunk_by_alias: dict[int, bytes] = {}
-        network = self.network
-        if network is not None:
-            spans = network.telemetry.spans
-            if spans is not None:
-                # Span root: every tier hop and delivery of this object is
-                # measured from this virtual-time instant.
-                spans.record_push(obj.location, network.simulator.now)
-            network.begin_batch()
-        try:
-            for session in self.sessions:
-                if session.closed:
-                    continue
-                for subscription in session.publisher_subscriptions():
-                    if session.config.use_datagrams:
-                        session.publish(subscription, obj, cached_encoding)
-                        continue
-                    alias = subscription.track_alias
-                    chunk = chunk_by_alias.get(alias)
-                    if chunk is None:
-                        chunk = encode_subgroup_stream_chunk(alias, obj, cached_encoding)
-                        chunk_by_alias[alias] = chunk
-                    session.publish_preencoded(subscription, obj, chunk)
-        finally:
-            if network is not None:
-                network.end_batch()
-
-    @property
-    def objects_sent(self) -> int:
-        """Objects the origin pushed over all its sessions."""
-        return sum(session.statistics.objects_sent for session in self.sessions)
-
-
-def build_origin(network: Network, publisher: OriginPublisher | None = None) -> OriginPublisher:
-    """Create the origin host with a MoQT server wired to ``publisher``."""
-    host = network.add_host(ORIGIN_HOST)
-    if publisher is None:
-        publisher = OriginPublisher(network)
-    elif publisher.network is None:
-        publisher.network = network
-    QuicEndpoint(
-        host,
-        port=ORIGIN_PORT,
-        server_tls=ServerTlsContext(alpn_protocols=(MOQT_ALPN,)),
-        on_connection=lambda connection: publisher.sessions.append(
-            MoqtSession(connection, is_client=False, publisher_delegate=publisher)
-        ),
-    )
-    return publisher
 
 
 def _update_payload(group_id: int, payload_size: int) -> bytes:
@@ -160,6 +84,13 @@ def _run_tree(
     runs) records push/hop/delivery timestamps without scheduling events,
     drawing randomness or touching wire bytes — seeded outputs are
     bit-identical with or without it.
+
+    ``spec.origins >= 2`` replaces the singleton origin with an
+    :class:`~repro.relaynet.origincluster.OriginCluster` of that size.  A
+    cluster that never fails adds zero traffic on any tree link — the
+    standby's warm subscription rides its own origin-mesh links — so the
+    measured tier tables are bit-identical to the singleton run (the
+    determinism canary in the test suite pins exactly this).
     """
     simulator = Simulator(seed=seed)
     # The experiment reads link statistics, never traces; a null recorder
@@ -167,8 +98,17 @@ def _run_tree(
     network = Network(simulator, trace=NullTraceRecorder(simulator), telemetry=telemetry)
     if telemetry is not None and telemetry.spans is not None:
         telemetry.spans.clear()
-    publisher = build_origin(network)
-    tree = RelayTreeBuilder(network, Address(ORIGIN_HOST, ORIGIN_PORT)).build(spec)
+    origin_cluster = None
+    if spec.origins > 1:
+        origin_cluster = OriginCluster(
+            network, origins=spec.origins, standby_link=spec.tiers[0].uplink
+        )
+        publisher = origin_cluster.publisher
+    else:
+        publisher = build_origin(network)
+    tree = RelayTreeBuilder(
+        network, Address(ORIGIN_HOST, ORIGIN_PORT), origin_cluster=origin_cluster
+    ).build(spec)
     tree.attach_subscribers(subscribers)
     delivered = [0]
     tree.subscribe_all(TRACK, on_object=lambda subscriber, obj: delivered.__setitem__(0, delivered[0] + 1))
@@ -178,18 +118,20 @@ def _run_tree(
     origin_before = publisher.objects_sent
     delivered_before = delivered[0]
     for update in range(updates):
-        publisher.push(
-            MoqtObject(
-                group_id=update + 2,
-                object_id=0,
-                payload=_update_payload(update + 2, payload_size),
-            )
+        obj = MoqtObject(
+            group_id=update + 2,
+            object_id=0,
+            payload=_update_payload(update + 2, payload_size),
         )
+        if origin_cluster is not None:
+            origin_cluster.push(obj)
+        else:
+            publisher.push(obj)
         simulator.run(until=simulator.now + UPDATE_INTERVAL)
     simulator.run(until=simulator.now + 3.0)
     delta = RelayNetStats.collect(tree).delta(before)
     if telemetry is not None:
-        collect_run(telemetry.metrics, network, tree)
+        collect_run(telemetry.metrics, network, tree, origin_cluster=origin_cluster)
     return TreeRun(
         delta=delta,
         origin_objects=publisher.objects_sent - origin_before,
@@ -318,6 +260,7 @@ def run_relay_fanout(
     payload_size: int = 300,
     seed: int = 7,
     telemetry: Telemetry | None = None,
+    origins: int = 1,
 ) -> RelayFanoutResult:
     """Run the fan-out experiment over a range of subscriber counts.
 
@@ -335,7 +278,9 @@ def run_relay_fanout(
     bytes_per_update = calibrate_bytes_per_update(payload_size, seed=seed + 1)
     samples: list[FanoutSample] = []
     for count in subscriber_counts:
-        spec = RelayTreeSpec.cdn(mid_relays=mid_relays, edge_per_mid=edge_per_mid)
+        spec = RelayTreeSpec.cdn(
+            mid_relays=mid_relays, edge_per_mid=edge_per_mid, origins=origins
+        )
         run = _run_tree(spec, count, updates, payload_size, seed, telemetry=telemetry)
         delta = run.delta
         measured_bytes = delta.tier_uplink_bytes() + (delta.subscriber_link_bytes,)

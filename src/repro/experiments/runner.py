@@ -14,6 +14,7 @@ from typing import Any, Callable
 from repro.experiments.compatibility import run_compatibility
 from repro.experiments.failure_detection import run_failure_detection
 from repro.experiments.fig1a import run_fig1a
+from repro.experiments.origin_failover import run_origin_failover
 from repro.experiments.fig1b import run_fig1b
 from repro.experiments.fig2_sequence import run_fig2
 from repro.experiments.query_latency import run_query_latency
@@ -128,6 +129,21 @@ def run_all(fast: bool = True) -> list[ExperimentReport]:
     reports.append(
         ExperimentReport("E13", "§3/§5.3 — in-band failure detection: PTO/idle-driven failover",
                          detection_table, detection)
+    )
+    failover = run_origin_failover(
+        subscribers=60 if fast else 1000,
+        mid_relays=2 if fast else 4,
+        edge_per_mid=2 if fast else 4,
+        updates_before=2 if fast else 4,
+        updates_between=4 if fast else 6,
+        updates_after=4 if fast else 6,
+    )
+    failover_table = "\n\n".join(
+        [format_table(failover.rows()), format_table([failover.summary_row()])]
+    )
+    reports.append(
+        ExperimentReport("E14", "§3/§5.3 — origin failover: replicated origin, in-band promotion",
+                         failover_table, failover)
     )
     return reports
 

@@ -18,7 +18,10 @@ uses:
   and subscriber roles (:mod:`repro.moqt.session`);
 * relays that aggregate subscriptions and cache objects without inspecting
   payloads (:mod:`repro.moqt.relay`), supporting the fan-out scenarios in
-  §3 and §5.3 of the paper.
+  §3 and §5.3 of the paper;
+* the reference origin publisher — encode-once fan-out over MoQT sessions
+  with a FETCH-served track cache (:mod:`repro.moqt.origin`), the root the
+  relay trees and the replicated origin cluster build on.
 """
 
 from repro.moqt.track import TrackNamespace, FullTrackName, MAX_FULL_TRACK_NAME_LENGTH
@@ -33,6 +36,7 @@ from repro.moqt.session import (
     FetchResult,
 )
 from repro.moqt.relay import MoqtRelay, RelayStatistics, RelayTrack
+from repro.moqt.origin import OriginPublisher, build_origin, build_origin_endpoint
 from repro.moqt.errors import MoqtError, SubscribeErrorCode, FetchErrorCode
 
 __all__ = [
@@ -52,6 +56,9 @@ __all__ = [
     "MoqtRelay",
     "RelayStatistics",
     "RelayTrack",
+    "OriginPublisher",
+    "build_origin",
+    "build_origin_endpoint",
     "MoqtError",
     "SubscribeErrorCode",
     "FetchErrorCode",

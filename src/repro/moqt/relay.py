@@ -514,6 +514,26 @@ class MoqtRelay:
     def _flush_recovery(self, track: RelayTrack) -> None:
         track.recovery.release(lambda obj: self._deliver_upstream_object(track, obj))
 
+    def abandon_upstream(self, reason: str = "no surviving parent") -> None:
+        """Tear the uplink down with *no* replacement: fail waiters cleanly.
+
+        The terminal counterpart of :meth:`switch_upstream`, used by the
+        topology when a failover finds nowhere alive to re-attach (the
+        structured ``NoSurvivingParentError`` path): the dying session is
+        closed locally — which fails its pending subscribes and fetches back
+        downstream instead of leaving them wedged — and no new upstream is
+        opened.  Armed recovery buffers are flushed: with no future attach
+        coming, holding buffered live objects would stall delivery forever.
+        """
+        session = self._upstream_session
+        if session is not None and not session.closed:
+            # Closing while still the current uplink routes through
+            # _on_upstream_closed, which errors every pending waiter.
+            session.close(reason)
+        self._upstream_session = None
+        for track in self._tracks.values():
+            self._flush_recovery(track)
+
     def shutdown(self, reason: str = "relay shutting down") -> None:
         """Close every session and release the relay's ports.
 

@@ -18,6 +18,12 @@ turns that argument into an executable subsystem:
   liveness instead of a control-plane kill signal), load-aware subscriber
   placement, and FETCH-based gap recovery so established subscriptions
   survive churn without duplicates or gaps;
+* :mod:`repro.relaynet.origincluster` — :class:`OriginCluster`, the
+  replicated origin: one active publisher plus warm standbys kept current
+  by live MoQT subscriptions, a silent `crash_active` fault injector, and
+  deterministic epoch-numbered promotion driven by the same in-band
+  detection path (`report_origin_failure`) when tier-0 uplinks notice the
+  active died;
 * :mod:`repro.relaynet.builder` — :class:`RelayTreeBuilder` and
   :class:`RelayTree`, thin construction fronts instantiating a spec on a
   :class:`~repro.netsim.network.Network` (one
@@ -37,12 +43,14 @@ measured-vs-model experiments are :mod:`repro.experiments.relay_fanout`
 
 from repro.relaynet.spec import RelayTierSpec, RelayTreeSpec
 from repro.relaynet.builder import RelayNode, RelayTree, RelayTreeBuilder, TreeSubscriber
+from repro.relaynet.origincluster import ClusterOrigin, OriginCluster, OriginPromotion
 from repro.relaynet.stats import RelayNetStats, TierStats
 from repro.relaynet.topology import (
     FailoverEvent,
     FailoverPolicy,
     FailoverRecord,
     GrandparentFailover,
+    NoSurvivingParentError,
     RelayTopology,
     SiblingFailover,
 )
@@ -54,12 +62,16 @@ __all__ = [
     "RelayTree",
     "RelayTreeBuilder",
     "TreeSubscriber",
+    "ClusterOrigin",
+    "OriginCluster",
+    "OriginPromotion",
     "RelayNetStats",
     "TierStats",
     "RelayTopology",
     "FailoverPolicy",
     "FailoverEvent",
     "FailoverRecord",
+    "NoSurvivingParentError",
     "SiblingFailover",
     "GrandparentFailover",
 ]

@@ -25,7 +25,7 @@ died, so seeded static runs keep their exact wire trace).
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.moqt.objectmodel import MoqtObject
 from repro.moqt.relay import DEFAULT_MOQT_PORT
@@ -33,6 +33,7 @@ from repro.moqt.session import MoqtSessionConfig, Subscription
 from repro.moqt.track import FullTrackName
 from repro.netsim.network import Network
 from repro.netsim.packet import Address
+from repro.quic.connection import ConnectionConfig
 from repro.relaynet.spec import RelayTreeSpec
 from repro.relaynet.topology import (
     FailoverEvent,
@@ -41,6 +42,9 @@ from repro.relaynet.topology import (
     RelayTopology,
     TreeSubscriber,
 )
+
+if TYPE_CHECKING:
+    from repro.relaynet.origincluster import OriginCluster
 
 __all__ = [
     "RelayNode",
@@ -154,6 +158,13 @@ class RelayTreeBuilder:
     failover_policy:
         How orphans pick a new parent when a relay dies
         (:class:`~repro.relaynet.topology.SiblingFailover` by default).
+    uplink_connection / subscriber_connection:
+        QUIC configurations forwarded to the topology (in-band liveness
+        detection enables keepalives / short idle timeouts here).
+    origin_cluster:
+        The replicated origin the tree hangs off, when one exists
+        (:class:`~repro.relaynet.origincluster.OriginCluster`); forwarded
+        to the topology so tier-0 failover can promote a standby.
     """
 
     def __init__(
@@ -163,12 +174,18 @@ class RelayTreeBuilder:
         session_config: MoqtSessionConfig | None = None,
         port: int = DEFAULT_MOQT_PORT,
         failover_policy: FailoverPolicy | None = None,
+        uplink_connection: ConnectionConfig | None = None,
+        subscriber_connection: ConnectionConfig | None = None,
+        origin_cluster: "OriginCluster | None" = None,
     ) -> None:
         self.network = network
         self.origin = origin
         self.session_config = session_config if session_config is not None else MoqtSessionConfig()
         self.port = port
         self.failover_policy = failover_policy
+        self.uplink_connection = uplink_connection
+        self.subscriber_connection = subscriber_connection
+        self.origin_cluster = origin_cluster
         # Fail fast if the origin host is missing rather than at first subscribe.
         network.host(origin.host)
 
@@ -182,5 +199,8 @@ class RelayTreeBuilder:
                 session_config=self.session_config,
                 port=self.port,
                 failover_policy=self.failover_policy,
+                uplink_connection=self.uplink_connection,
+                subscriber_connection=self.subscriber_connection,
+                origin_cluster=self.origin_cluster,
             )
         )

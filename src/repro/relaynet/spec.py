@@ -64,6 +64,13 @@ class RelayTreeSpec:
     tiers: tuple[RelayTierSpec, ...]
     subscriber_link: LinkConfig = field(default_factory=lambda: LinkConfig(delay=0.005))
     host_prefix: str = "relay"
+    #: Origin instances the tree expects: 1 for the historical singleton,
+    #: ``n >= 2`` for a replicated origin (1 active + ``n - 1`` warm
+    #: standbys, see :mod:`repro.relaynet.origincluster`).  The spec only
+    #: *declares* the replication factor — experiments build the matching
+    #: :class:`~repro.relaynet.origincluster.OriginCluster` and hand it to
+    #: the builder.
+    origins: int = 1
 
     def __post_init__(self) -> None:
         if not self.tiers:
@@ -71,6 +78,8 @@ class RelayTreeSpec:
         names = [tier.name for tier in self.tiers]
         if len(set(names)) != len(names):
             raise ValueError(f"tier names must be unique: {names}")
+        if self.origins < 1:
+            raise ValueError(f"a relay tree needs at least one origin: {self.origins}")
 
     @property
     def depth(self) -> int:
@@ -133,12 +142,14 @@ class RelayTreeSpec:
         core_link: LinkConfig | None = None,
         metro_link: LinkConfig | None = None,
         access_link: LinkConfig | None = None,
+        origins: int = 1,
     ) -> "RelayTreeSpec":
         """The CDN shape of §5.3: origin -> mid (metro) -> edge (access).
 
         ``core_link`` joins the origin to the mid tier, ``metro_link`` the mid
         tier to the edge tier, and ``access_link`` the edge relays to their
-        subscribers.
+        subscribers.  ``origins >= 2`` declares a replicated origin (E14's
+        failover scenario).
         """
         return cls(
             tiers=(
@@ -148,4 +159,5 @@ class RelayTreeSpec:
                 ),
             ),
             subscriber_link=access_link or LinkConfig(delay=0.005),
+            origins=origins,
         )

@@ -46,7 +46,7 @@ checks them against the closed-form model in :mod:`repro.analysis.churn`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.moqt.objectmodel import Location, MoqtObject
 from repro.moqt.relay import (
@@ -66,6 +66,9 @@ from repro.netsim.packet import Address
 from repro.quic.connection import ConnectionConfig
 from repro.quic.endpoint import QuicEndpoint
 from repro.relaynet.spec import RelayTreeSpec
+
+if TYPE_CHECKING:
+    from repro.relaynet.origincluster import ClusterOrigin, OriginCluster
 
 
 @dataclass(eq=False)
@@ -317,6 +320,15 @@ class FailoverEvent:
     #: Seconds from the silent crash (:attr:`RelayNode.crashed_at`) to the
     #: first in-band report; None for control-plane-announced events.
     detection_latency: float | None = None
+    #: Structured terminal failure, when the evacuation could not re-home
+    #: every orphan: ``"no-surviving-parent"`` (relay orphans with a dead
+    #: origin as the only fallback, or subscribers with no alive leaf) or
+    #: ``"no-surviving-origin"`` (an origin death with no standby left).
+    #: Stranded orphans carry an empty ``new_parent`` in their records.
+    error: str = ""
+    #: The origin-cluster epoch this event promoted *to*, for origin-tier
+    #: events that elected a successor; None everywhere else.
+    epoch: int | None = None
 
     @property
     def complete(self) -> bool:
@@ -338,6 +350,24 @@ class FailoverEvent:
                 continue
             grouped.setdefault(record.tier, []).append(latency)
         return grouped
+
+
+class NoSurvivingParentError(RuntimeError):
+    """A failover found orphans with nowhere alive to re-attach.
+
+    Raised by :meth:`RelayTopology.report_failure` /
+    :meth:`RelayTopology.report_origin_failure` *after* the failover event
+    has been fully recorded: ``event.error`` names the condition and each
+    stranded orphan has a :class:`FailoverRecord` with an empty
+    ``new_parent``, so the terminal state is observable whether or not the
+    caller can propagate the exception.  The wired in-band liveness handlers
+    swallow it — a transport callback must never unwind the event loop —
+    which is why the event, not the exception, is the source of truth.
+    """
+
+    def __init__(self, message: str, event: FailoverEvent) -> None:
+        super().__init__(message)
+        self.event = event
 
 
 # ------------------------------------------------------------------- topology
@@ -372,6 +402,13 @@ class RelayTopology:
     subscriber_connection:
         QUIC configuration for subscriber sessions; E13 shortens the idle
         timeout here so orphaned subscribers notice a dead leaf in-band.
+    origin_cluster:
+        The replicated origin this tree hangs off, when the origin is a
+        :class:`~repro.relaynet.origincluster.OriginCluster` rather than a
+        singleton.  Tier-0 relays get pre-established links to every
+        standby (links only — no traffic, so a never-failing run stays
+        wire-identical), and a tier-0 uplink death is routed through
+        :meth:`report_origin_failure` instead of being unreportable.
     """
 
     def __init__(
@@ -384,9 +421,11 @@ class RelayTopology:
         failover_policy: FailoverPolicy | None = None,
         uplink_connection: ConnectionConfig | None = None,
         subscriber_connection: ConnectionConfig | None = None,
+        origin_cluster: "OriginCluster | None" = None,
     ) -> None:
         self.network = network
         self.origin = origin
+        self.origin_cluster = origin_cluster
         self.spec = spec
         self.session_config = session_config if session_config is not None else MoqtSessionConfig()
         self.port = port
@@ -432,6 +471,7 @@ class RelayTopology:
         if tier_index == 0:
             parent = None
             upstream = self.origin
+            self._prewire_standby_links(host, tier_spec.uplink)
         else:
             if parent is None:
                 parent = self._pick_parent(tier_index)
@@ -463,6 +503,23 @@ class RelayTopology:
         self.tiers[tier_index].append(node)
         self._nodes_by_relay[relay] = node
         return node
+
+    def _prewire_standby_links(self, host: Host, uplink) -> None:
+        """Pre-establish links from a tier-0 relay host to every standby.
+
+        Links only — no connections, no traffic, no scheduled events — so a
+        cluster that never fails adds zero wire bytes; but when a promotion
+        re-points tier-0 uplinks at a standby, the path already exists and
+        the re-attach pays pure handshake RTTs, exactly like a relay-tier
+        failover.
+        """
+        if self.origin_cluster is None:
+            return
+        for origin in self.origin_cluster.origins:
+            if origin.index == 0:
+                continue  # the initial active is linked by connect_star
+            if not self.network.has_link(origin.host.address, host.address):
+                self.network.connect(origin.host, host, uplink)
 
     # -------------------------------------------------------------- structure
     def nodes(self) -> list[RelayNode]:
@@ -701,22 +758,36 @@ class RelayTopology:
     # ------------------------------------------------------ in-band detection
     def _on_relay_uplink_dying(self, relay: MoqtRelay, cause: str) -> None:
         node = self._nodes_by_relay.get(relay)
-        if node is None or node.parent is None:
-            # Nodes hanging directly off the origin have no stand-in parent
-            # to fail over to; the relay's own error paths handle it.
+        if node is None:
             return
         # The dead node is resolved *now*, at signal time: once the failover
         # has reparented this relay, any straggling liveness signal from the
         # replaced session is filtered at the relay layer, and the new
-        # parent must never be blamed for the old one's death.
-        self.report_failure(node.parent, via=cause)
+        # parent must never be blamed for the old one's death.  A terminal
+        # no-surviving-parent outcome is recorded on the event before the
+        # structured error is raised, so it is swallowed here: a transport
+        # callback must never unwind the event loop.
+        try:
+            if node.parent is None:
+                if self.origin_cluster is not None:
+                    self.report_origin_failure(node, via=cause)
+                # Without a replicated origin, nodes hanging directly off it
+                # have no stand-in to fail over to; the relay's own error
+                # paths handle the dead uplink.
+                return
+            self.report_failure(node.parent, via=cause)
+        except NoSurvivingParentError:
+            pass
 
     def _on_subscriber_liveness(
         self, subscriber: TreeSubscriber, session: MoqtSession, new: str
     ) -> None:
         if session is not subscriber.session or new == "healthy":
             return
-        self.report_failure(subscriber.leaf, via=session.connection.liveness_cause)
+        try:
+            self.report_failure(subscriber.leaf, via=session.connection.liveness_cause)
+        except NoSurvivingParentError:
+            pass
 
     def report_failure(self, dead: RelayNode, via: str = "") -> FailoverEvent | None:
         """Some orphan's transport says ``dead`` is gone: run the failover.
@@ -748,7 +819,121 @@ class RelayTopology:
         if dead.crashed_at is not None:
             event.detection_latency = now - dead.crashed_at
         dead.failure_event = event
+        if event.error:
+            # The evacuation stranded orphans (recorded on the event, which
+            # never raises mid-teardown); surface the terminal outcome as a
+            # structured error rather than returning as if re-homed.
+            raise NoSurvivingParentError(
+                f"failover of {dead.host.address} stranded orphans: {event.error}",
+                event,
+            )
         return event
+
+    def report_origin_failure(
+        self, reporter: RelayNode, via: str = ""
+    ) -> FailoverEvent | None:
+        """A tier-0 relay's transport says its *origin* is gone: promote.
+
+        The origin-tier twin of :meth:`report_failure`, with the same
+        determinism contract:
+
+        * **first detector wins** — the first report deposes the dead
+          active, elects the lowest-index alive standby, increments the
+          cluster epoch and re-points every tier-0 uplink (pending
+          subscribes transplant exactly as in a relay-tier switch);
+        * **idempotent** — later reporters of the same death get the
+          recorded event back;
+        * **stale reports from an old epoch are ignored** — a reporter
+          naming an origin that is no longer the active (its death has
+          already been promoted around) gets that origin's recorded event
+          and triggers nothing.
+
+        The reporter names the origin through its own uplink address,
+        resolved at signal time, so a relay already switched to the new
+        active can never depose it with a straggling signal.  Raises
+        :class:`NoSurvivingParentError` (after recording the terminal
+        event) when no standby survives to promote.
+        """
+        cluster = self.origin_cluster
+        if cluster is None:
+            raise RuntimeError("report_origin_failure needs an origin cluster")
+        dead = cluster.origin_at(reporter.relay.upstream_address)
+        if dead is None:
+            return None
+        if dead is not cluster.active or dead.failure_event is not None:
+            # Already promoted around (stale epoch) or already being handled
+            # by the first detector: hand back the recorded event.
+            return dead.failure_event
+        now = self.network.simulator.now
+        event = FailoverEvent(
+            cause="detected", node=dead.host.address, tier="origin", at=now
+        )
+        event.detected_via = via
+        if dead.crashed_at is not None:
+            event.detection_latency = now - dead.crashed_at
+        # Recorded before the election runs: a re-entrant report from
+        # another tier-0 relay noticing the same death mid-promotion hits
+        # the idempotency guard above.
+        dead.failure_event = event
+        self.events.append(event)
+        dead_address = dead.address
+        promotion = cluster.promote(via=via, detection_latency=event.detection_latency)
+        if promotion is None:
+            event.error = "no-surviving-origin"
+            self._strand_origin_orphans(dead_address, event, now)
+            raise NoSurvivingParentError(
+                f"origin {dead.host.address} died with no surviving standby",
+                event,
+            )
+        event.epoch = promotion.epoch
+        # The topology's origin pointer follows the election: later tier-0
+        # joins and grandparent fallbacks anchor on the *current* active.
+        self.origin = cluster.address
+        for node in self.tiers[0]:
+            if not node.alive or node.relay.upstream_address != dead_address:
+                continue
+            record = FailoverRecord(
+                kind="relay",
+                name=node.host.address,
+                tier=node.tier_name,
+                new_parent=cluster.active.host.address,
+                detached_at=now,
+            )
+            event.records.append(record)
+            has_live_tracks = any(
+                track.downstream or track.awaiting_upstream
+                for track in node.relay.tracks().values()
+            )
+            node.relay.switch_upstream(
+                self.origin,
+                on_track_reattached=lambda track, r=record: r.mark_reattached(
+                    self.network.simulator.now
+                ),
+            )
+            if not has_live_tracks:
+                record.mark_reattached(now)
+        return event
+
+    def _strand_origin_orphans(
+        self, dead_address: Address, event: FailoverEvent, now: float
+    ) -> None:
+        """Record and cleanly terminate tier-0 relays with no origin left."""
+        for node in self.tiers[0]:
+            if not node.alive or node.relay.upstream_address != dead_address:
+                continue
+            event.records.append(
+                FailoverRecord(
+                    kind="relay",
+                    name=node.host.address,
+                    tier=node.tier_name,
+                    new_parent="",
+                    detached_at=now,
+                )
+            )
+            # Fail the relay's pending subscribes/fetches back downstream
+            # instead of leaving them wedged on a session nobody will ever
+            # answer: subscribers observe clean terminal errors, not hangs.
+            node.relay.abandon_upstream("no surviving origin")
 
     # ---------------------------------------------------------------- failover
     def _evacuate(self, node: RelayNode, cause: str) -> FailoverEvent:
@@ -780,9 +965,29 @@ class RelayTopology:
             parent_name = new_parent.host.address
             new_parent.load += 1
         else:
-            # No surviving relay above: attach straight to the origin.
+            # No surviving relay above: attach straight to the origin — but
+            # only to an origin that is actually there.  With a replicated
+            # origin whose last member is gone, "attach to the origin" would
+            # silently wire orphans to a dead address; record the stranded
+            # orphan (the structured NoSurvivingParentError is raised by
+            # report_failure once the event is complete) and terminate the
+            # child's uplink cleanly instead.
+            origin_anchor = self._origin_anchor()
+            if origin_anchor is None:
+                event.error = event.error or "no-surviving-parent"
+                event.records.append(
+                    FailoverRecord(
+                        kind="relay",
+                        name=child.host.address,
+                        tier=child.tier_name,
+                        new_parent="",
+                        detached_at=now,
+                    )
+                )
+                child.relay.abandon_upstream("no surviving parent")
+                return
             upstream = self.origin
-            anchor = self.network.host(self.origin.host)
+            anchor = origin_anchor
             parent_name = self.origin.host
         if not self.network.has_link(anchor.address, child.host.address):
             self.network.connect(anchor, child.host, self.spec.tiers[child.tier_index].uplink)
@@ -810,6 +1015,26 @@ class RelayTopology:
             # wait for: re-pointing its uplink completes the failover.
             record.mark_reattached(now)
 
+    def _origin_anchor(self) -> Host | None:
+        """The origin host orphans may fall back to — None when it is gone.
+
+        Without a replicated origin the singleton is assumed reachable:
+        nothing in the topology can ever report it dead, so the historical
+        attach-to-origin fallback stands.  With a cluster, the *membership
+        view* decides (``alive``), not the crash oracle: a silently crashed
+        but not-yet-detected active is still attached to — exactly as a
+        not-yet-detected relay would be — and the subsequent in-band origin
+        report re-homes those orphans through the promoted standby.  Only
+        when the cluster's active has been deposed with no successor is
+        there genuinely no origin left.
+        """
+        cluster = self.origin_cluster
+        if cluster is None:
+            return self.network.host(self.origin.host)
+        if not cluster.active.alive:
+            return None
+        return cluster.active.host
+
     def _failover_subscriber(
         self, subscriber: TreeSubscriber, event: FailoverEvent, now: float
     ) -> None:
@@ -817,6 +1042,7 @@ class RelayTopology:
             # Nowhere left to re-home: record the stranded orphan (the event
             # honestly reads incomplete) instead of raising mid-evacuation
             # with the dead relay already torn down.
+            event.error = event.error or "no-surviving-parent"
             event.records.append(
                 FailoverRecord(
                     kind="subscriber",

@@ -206,11 +206,58 @@ def collect_relay_tree(metrics: MetricsRegistry, tree) -> None:
             quic_gauge[field].labels(role).set(value)
 
 
-def collect_run(metrics: MetricsRegistry, network, tree=None) -> None:
+def collect_origin_cluster(metrics: MetricsRegistry, cluster) -> None:
+    """Scrape a replicated origin: membership, promotion history and the
+    origin-role QUIC transport totals.
+
+    ``cluster`` is an :class:`~repro.relaynet.origincluster.OriginCluster`.
+    The QUIC totals aggregate every origin's downstream (serving) sessions
+    plus the standbys' warm-subscription uplinks under the ``"origin"``
+    role, completing the role families :func:`collect_relay_tree` exports.
+    """
+    if not metrics.enabled:
+        return
+    metrics.gauge("origin_cluster_size", "Origin instances ever built").set(
+        len(cluster.origins)
+    )
+    metrics.gauge(
+        "origin_cluster_alive", "Origins still alive (active + standbys)"
+    ).set(sum(1 for origin in cluster.origins if origin.alive))
+    metrics.gauge("origin_epoch", "Current promotion epoch (0 = initial active)").set(
+        cluster.epoch
+    )
+    metrics.gauge("origin_promotions", "Promotions the cluster has run").set(
+        len(cluster.promotions)
+    )
+    replayed = sum(promotion.replayed_objects for promotion in cluster.promotions)
+    metrics.gauge(
+        "origin_replayed_objects",
+        "Outage-window objects seeded from the replay ring at promotion",
+    ).set(replayed)
+    totals = {field: 0 for field in _QUIC_STAT_FIELDS}
+    for origin in cluster.origins:
+        for session in origin.publisher.sessions:
+            _scrape_quic(totals, session.connection)
+        if origin.uplink_session is not None:
+            _scrape_quic(totals, origin.uplink_session.connection)
+    quic_gauge = {
+        field: metrics.gauge(
+            f"quic_{field}", "QUIC connection totals by role", labels=("role",)
+        )
+        for field in _QUIC_STAT_FIELDS
+    }
+    for field, value in totals.items():
+        quic_gauge[field].labels("origin").set(value)
+
+
+def collect_run(metrics: MetricsRegistry, network, tree=None, origin_cluster=None) -> None:
     """One-call scrape at the end of a run: network (+ pool + simulator)
-    and, when given, the relay tree with its QUIC transport totals."""
+    and, when given, the relay tree with its QUIC transport totals and the
+    replicated origin cluster the tree hangs off."""
     if not metrics.enabled:
         return
     collect_network(metrics, network)
     if tree is not None:
         collect_relay_tree(metrics, tree)
+    if origin_cluster is not None:
+        collect_origin_cluster(metrics, origin_cluster)

@@ -125,6 +125,7 @@ class SpanTracer:
         "max_spans",
         "dropped_spans",
         "_spans",
+        "promotions",
     )
 
     #: Mirrors ``TraceRecorder.enabled`` — call sites may check it before
@@ -145,6 +146,10 @@ class SpanTracer:
         self.max_spans = max_spans
         self.dropped_spans = 0
         self._spans: dict["Location", ObjectSpan] = {}
+        #: Origin promotions observed this run, in epoch order — the
+        #: control-plane-free failover's only trace segment (see
+        #: :meth:`record_promotion`).
+        self.promotions: list[dict[str, object]] = []
 
     # -------------------------------------------------------------- recording
     def record_push(self, location: "Location", now: float) -> None:
@@ -186,10 +191,36 @@ class SpanTracer:
         if span is not None:
             span.deliveries.append((leaf_host, subscriber_index, now))
 
+    def record_promotion(
+        self,
+        epoch: int,
+        old_active: str,
+        new_active: str,
+        at: float,
+        detection_latency: float | None = None,
+    ) -> None:
+        """An origin promotion ran at virtual time ``at``.
+
+        Unlike pushes/hops/deliveries this is not sampled — promotions are
+        rare, epoch-ordered control events, and every one matters for
+        reconstructing why a delivery's relay chain changed mid-run.  Purely
+        observational, like every recorder on this tracer.
+        """
+        self.promotions.append(
+            {
+                "epoch": epoch,
+                "old_active": old_active,
+                "new_active": new_active,
+                "at": at,
+                "detection_latency": detection_latency,
+            }
+        )
+
     def clear(self) -> None:
         """Drop all recorded spans (reuse the tracer across seeded runs)."""
         self._spans.clear()
         self.dropped_spans = 0
+        self.promotions.clear()
 
     # ------------------------------------------------------------- inspection
     @property
@@ -282,4 +313,5 @@ class SpanTracer:
             "sample_every": self.sample_every,
             "subscriber_sample_every": self.subscriber_sample_every,
             "tiers": self.tier_breakdown(),
+            "promotions": list(self.promotions),
         }
