@@ -304,6 +304,7 @@ def run_failure_detection(
     subscriber_idle_timeout: float = 1.5,
     origins: int = 1,
     telemetry: Telemetry | None = None,
+    aggregate_leaves: bool = False,
 ) -> FailureDetectionResult:
     """Crash relays silently under a live CDN tree; recover purely in-band.
 
@@ -319,6 +320,12 @@ def run_failure_detection(
     crashed in this experiment, so detection latencies and delivery
     sequences must be identical either way — the determinism canary the
     E14 battery locks in.
+
+    ``aggregate_leaves`` attaches the population counted.  Detection is
+    unchanged: an aggregated representative holds the same idle-deadline
+    state every dense member would, so the first (and only) idle expiry
+    fires at the same instant and the dissolved members re-attach exactly
+    as the dense orphans do.
     """
     simulator = Simulator(seed=seed)
     network = Network(simulator, trace=NullTraceRecorder(simulator), telemetry=telemetry)
@@ -346,9 +353,14 @@ def run_failure_detection(
             alpn_protocols=(MOQT_ALPN,), idle_timeout=subscriber_idle_timeout
         ),
         origin_cluster=origin_cluster,
+        aggregate_leaves=aggregate_leaves,
     )
     topology.attach_subscribers(subscribers)
     received: dict[int, list[int]] = {sub.index: [] for sub in topology.subscribers}
+    if aggregate_leaves:
+        topology.on_subscriber_split = lambda member, rep: received.__setitem__(
+            member.index, list(received[rep.index])
+        )
     topology.subscribe_all(
         TRACK, on_object=lambda sub, obj: received[sub.index].append(obj.group_id)
     )
@@ -413,6 +425,10 @@ def run_failure_detection(
     # reconnect churn).
     simulator.run(until=simulator.now + 0.5 * subscriber_idle_timeout)
 
+    if aggregate_leaves:
+        from repro.relaynet import expand_member_sequences
+
+        received = expand_member_sequences(topology, received)
     updates = updates_before + updates_between + updates_after
     expected_sequence = list(range(2, updates + 2))
     gapless = sum(1 for groups in received.values() if groups == expected_sequence)
@@ -448,11 +464,13 @@ def run_failure_detection(
             node.relay.statistics.duplicate_objects_dropped for node in nodes
         ),
         subscriber_duplicates_dropped=sum(
-            sub.duplicates_dropped for sub in topology.subscribers
+            sub.duplicates_dropped * sub.multiplicity for sub in topology.subscribers
         ),
         recovery_fetches=sum(node.relay.statistics.recovery_fetches for node in nodes),
         recovered_objects=sum(node.relay.statistics.recovered_objects for node in nodes),
-        subscriber_gap_fetches=sum(sub.gap_fetches for sub in topology.subscribers),
+        subscriber_gap_fetches=sum(
+            sub.gap_fetches * sub.multiplicity for sub in topology.subscribers
+        ),
         uplink_failures_detected=sum(
             node.relay.statistics.uplink_failures_detected for node in nodes
         ),

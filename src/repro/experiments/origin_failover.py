@@ -215,6 +215,7 @@ def run_origin_failover(
     seed: int = 31,
     keepalive_interval: float = 0.5,
     telemetry: Telemetry | None = None,
+    aggregate_leaves: bool = False,
 ) -> OriginFailoverResult:
     """Silently crash the active origin under a live CDN tree; promote in-band.
 
@@ -248,9 +249,14 @@ def run_origin_failover(
             alpn_protocols=(MOQT_ALPN,), keepalive_interval=keepalive_interval
         ),
         origin_cluster=cluster,
+        aggregate_leaves=aggregate_leaves,
     )
     topology.attach_subscribers(subscribers)
     received: dict[int, list[int]] = {sub.index: [] for sub in topology.subscribers}
+    if aggregate_leaves:
+        topology.on_subscriber_split = lambda member, rep: received.__setitem__(
+            member.index, list(received[rep.index])
+        )
     topology.subscribe_all(
         TRACK, on_object=lambda sub, obj: received[sub.index].append(obj.group_id)
     )
@@ -291,6 +297,10 @@ def run_origin_failover(
     push(updates_after)
     simulator.run(until=simulator.now + 3.0)
 
+    if aggregate_leaves:
+        from repro.relaynet import expand_member_sequences
+
+        received = expand_member_sequences(topology, received)
     updates = updates_before + updates_between + updates_after
     expected_sequence = list(range(2, updates + 2))
     gapless = sum(1 for groups in received.values() if groups == expected_sequence)
@@ -338,7 +348,7 @@ def run_origin_failover(
         duplicates_dropped=sum(
             node.relay.statistics.duplicate_objects_dropped for node in nodes
         )
-        + sum(sub.duplicates_dropped for sub in topology.subscribers),
+        + sum(sub.duplicates_dropped * sub.multiplicity for sub in topology.subscribers),
         recovery_fetches=sum(node.relay.statistics.recovery_fetches for node in nodes),
         recovered_objects=sum(node.relay.statistics.recovered_objects for node in nodes),
         false_positive_events=false_positives,

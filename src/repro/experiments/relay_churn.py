@@ -184,6 +184,7 @@ def run_relay_churn(
     kill_edge: bool = True,
     origins: int = 1,
     telemetry: Telemetry | None = None,
+    aggregate_leaves: bool = False,
 ) -> RelayChurnResult:
     """Kill relays under a live CDN tree and measure the recovery.
 
@@ -199,6 +200,12 @@ def run_relay_churn(
     singleton origin.  No origin is crashed here, so every measured output
     must be identical either way — the determinism canary the E14 battery
     locks in.
+
+    ``aggregate_leaves`` attaches the population in counted aggregate-leaf
+    mode.  A kill that touches an aggregated leaf dissolves its group —
+    exactly the affected members materialise and re-attach individually —
+    so delivery sequences, gapless counts and re-attach latencies are
+    bit-identical to the dense run.
     """
     simulator = Simulator(seed=seed)
     network = Network(simulator, trace=NullTraceRecorder(simulator), telemetry=telemetry)
@@ -220,10 +227,18 @@ def run_relay_churn(
         Address(ORIGIN_HOST, ORIGIN_PORT),
         failover_policy=failover_policy,
         origin_cluster=origin_cluster,
+        aggregate_leaves=aggregate_leaves,
     )
     tree = builder.build(spec)
     tree.attach_subscribers(subscribers)
     received: dict[int, list[int]] = {sub.index: [] for sub in tree.subscribers}
+    if aggregate_leaves:
+        # A materialised member inherits its representative's delivery
+        # history — that history *is* the member's own under the aggregate
+        # invariant.  Copied before the member sees any new traffic.
+        tree.topology.on_subscriber_split = lambda member, rep: received.__setitem__(
+            member.index, list(received[rep.index])
+        )
     tree.subscribe_all(
         TRACK, on_object=lambda sub, obj: received[sub.index].append(obj.group_id)
     )
@@ -261,6 +276,10 @@ def run_relay_churn(
     push(updates_after)
     simulator.run(until=simulator.now + 5.0)
 
+    if aggregate_leaves:
+        from repro.relaynet import expand_member_sequences
+
+        received = expand_member_sequences(tree.topology, received)
     updates = updates_before + updates_between + updates_after
     expected_sequence = list(range(2, updates + 2))
     gapless = sum(1 for groups in received.values() if groups == expected_sequence)
@@ -277,8 +296,10 @@ def run_relay_churn(
     recovered_objects = sum(
         node.relay.statistics.recovered_objects for node in tree.nodes()
     )
-    subscriber_duplicates = sum(sub.duplicates_dropped for sub in tree.subscribers)
-    gap_fetches = sum(sub.gap_fetches for sub in tree.subscribers)
+    subscriber_duplicates = sum(
+        sub.duplicates_dropped * sub.multiplicity for sub in tree.subscribers
+    )
+    gap_fetches = sum(sub.gap_fetches * sub.multiplicity for sub in tree.subscribers)
     if telemetry is not None:
         collect_run(telemetry.metrics, network, tree, origin_cluster=origin_cluster)
     return RelayChurnResult(

@@ -76,6 +76,7 @@ def _run_tree(
     payload_size: int,
     seed: int,
     telemetry: Telemetry | None = None,
+    aggregate_leaves: bool = False,
 ) -> TreeRun:
     """Build the tree, push ``updates`` objects and measure the update window.
 
@@ -91,6 +92,13 @@ def _run_tree(
     standby's warm subscription rides its own origin-mesh links — so the
     measured tier tables are bit-identical to the singleton run (the
     determinism canary in the test suite pins exactly this).
+
+    ``aggregate_leaves`` runs the subscriber edge in counted aggregate-leaf
+    mode (:mod:`repro.relaynet.aggregate`): identical placement and wire
+    behaviour per connection, one representative per leaf group, every
+    measured statistic multiplied out — tier tables, origin egress and
+    delivered counts are bit-identical to the dense run while
+    ``events_scheduled`` collapses by roughly the leaf fan-out factor.
     """
     simulator = Simulator(seed=seed)
     # The experiment reads link statistics, never traces; a null recorder
@@ -107,11 +115,21 @@ def _run_tree(
     else:
         publisher = build_origin(network)
     tree = RelayTreeBuilder(
-        network, Address(ORIGIN_HOST, ORIGIN_PORT), origin_cluster=origin_cluster
+        network,
+        Address(ORIGIN_HOST, ORIGIN_PORT),
+        origin_cluster=origin_cluster,
+        aggregate_leaves=aggregate_leaves,
     ).build(spec)
     tree.attach_subscribers(subscribers)
     delivered = [0]
-    tree.subscribe_all(TRACK, on_object=lambda subscriber, obj: delivered.__setitem__(0, delivered[0] + 1))
+    # Each delivery counts once per subscriber the receiving object stands
+    # in for (multiplicity is 1 everywhere in dense mode).
+    tree.subscribe_all(
+        TRACK,
+        on_object=lambda subscriber, obj: delivered.__setitem__(
+            0, delivered[0] + subscriber.multiplicity
+        ),
+    )
     simulator.run(until=simulator.now + 3.0)
 
     before = RelayNetStats.collect(tree)
@@ -261,6 +279,7 @@ def run_relay_fanout(
     seed: int = 7,
     telemetry: Telemetry | None = None,
     origins: int = 1,
+    aggregate_leaves: bool = False,
 ) -> RelayFanoutResult:
     """Run the fan-out experiment over a range of subscriber counts.
 
@@ -281,7 +300,15 @@ def run_relay_fanout(
         spec = RelayTreeSpec.cdn(
             mid_relays=mid_relays, edge_per_mid=edge_per_mid, origins=origins
         )
-        run = _run_tree(spec, count, updates, payload_size, seed, telemetry=telemetry)
+        run = _run_tree(
+            spec,
+            count,
+            updates,
+            payload_size,
+            seed,
+            telemetry=telemetry,
+            aggregate_leaves=aggregate_leaves,
+        )
         delta = run.delta
         measured_bytes = delta.tier_uplink_bytes() + (delta.subscriber_link_bytes,)
         measured_objects = tuple(tier.objects_received for tier in delta.tiers) + (

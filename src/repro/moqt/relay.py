@@ -250,6 +250,11 @@ class MoqtRelay:
         """The address downstream subscribers connect to."""
         return self._server_endpoint.address
 
+    @property
+    def server_tls(self) -> ServerTlsContext:
+        """The downstream server endpoint's TLS context (ticket issuance)."""
+        return self._server_endpoint.server_tls
+
     # ----------------------------------------------------------- downstream side
     def _on_downstream_connection(self, connection: QuicConnection) -> None:
         session = MoqtSession(

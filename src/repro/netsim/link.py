@@ -109,6 +109,8 @@ class Link:
         "_loss_rate",
         "batchable",
         "statistics",
+        "multiplicity",
+        "extra_bytes",
     )
 
     def __init__(
@@ -133,6 +135,18 @@ class Link:
         #: seeded random stream.
         self.batchable = config.bandwidth is None and config.loss_rate == 0.0
         self.statistics = LinkStatistics()
+        #: How many identical physical links this one stands in for.  1 for
+        #: ordinary links; an aggregate-leaf representative's access link
+        #: carries its group's member count, and network-wide totals multiply
+        #: the counters by it at collection time (per-datagram behaviour is
+        #: unaffected — the link itself stays a single FIFO).
+        self.multiplicity = 1
+        #: Additive byte correction applied (once, not multiplied) on top of
+        #: the multiplied totals.  An aggregate representative's handshake
+        #: carries one concrete TLS ticket id; the counted members' dense
+        #: handshakes would have carried different decimal widths, and the
+        #: exact difference — known at attach time — lands here.
+        self.extra_bytes = 0
 
     @property
     def config(self) -> LinkConfig:

@@ -8,6 +8,7 @@ with an unknown connection ID arrives.
 
 from __future__ import annotations
 
+import random
 from typing import Callable
 
 from repro.netsim.node import Host
@@ -51,6 +52,7 @@ class QuicEndpoint:
         "_connections",
         "_next_connection_id",
         "_pool",
+        "_rng",
         "address",
     )
 
@@ -61,6 +63,7 @@ class QuicEndpoint:
         server_config: ConnectionConfig | None = None,
         server_tls: ServerTlsContext | None = None,
         on_connection: ConnectionHandler | None = None,
+        rng: "random.Random | None" = None,
     ) -> None:
         self._host = host
         self._simulator = host.simulator
@@ -70,6 +73,11 @@ class QuicEndpoint:
         self.ticket_store = SessionTicketStore()
         self._connections: dict[int, QuicConnection] = {}
         self._next_connection_id = 1
+        # Connection-ID randomness source.  Defaults to the simulator's
+        # seeded stream; aggregate-leaf subscribers pass an index-derived
+        # private stream instead so creating (or skipping) them never shifts
+        # the global seeded-RNG position other components draw from.
+        self._rng = rng
         # Recycle datagram shells and send buffers through the network's pool
         # when one exists (hosts wired to links directly, as some transport
         # tests do, fall back to plain allocation).
@@ -114,9 +122,8 @@ class QuicEndpoint:
         # ~60 clients).  The counter is masked to 14 bits so the composite
         # never exceeds QUIC's 62-bit varint range — past 16384 connections
         # per endpoint, uniqueness rests on the random component alone.
-        connection_id = ((self._next_connection_id & 0x3FFF) << 48) | self._simulator.rng.randrange(
-            1 << 48
-        )
+        rng = self._rng if self._rng is not None else self._simulator.rng
+        connection_id = ((self._next_connection_id & 0x3FFF) << 48) | rng.randrange(1 << 48)
         self._next_connection_id += 1
         return connection_id
 
@@ -125,6 +132,11 @@ class QuicEndpoint:
     def is_server(self) -> bool:
         """Whether this endpoint accepts incoming connections."""
         return self._server_tls is not None
+
+    @property
+    def server_tls(self) -> "ServerTlsContext | None":
+        """The server-side TLS context (None for client-only endpoints)."""
+        return self._server_tls
 
     def _accept(self, packet: Packet, source: Address) -> QuicConnection | None:
         if not self.is_server or packet.packet_type not in (

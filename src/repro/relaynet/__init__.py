@@ -31,7 +31,14 @@ turns that argument into an executable subsystem:
   attaching subscriber sessions below the edge tier;
 * :mod:`repro.relaynet.stats` — :class:`RelayNetStats` snapshots per-tier
   relay counters, cache hit/miss totals and uplink bytes, with snapshot
-  deltas to isolate measurement windows.
+  deltas to isolate measurement windows;
+* :mod:`repro.relaynet.aggregate` — :class:`AggregateLeaf`, the exact
+  counted-leaf representation behind ``aggregate_leaves=``: each edge
+  relay's homogeneous subscriber population rides one live connection
+  with a multiplicity, statistics are multiplied out at collection time,
+  and members materialise to dense subscribers on demand (span sampling,
+  churn, explicit splits) — the machinery that makes the 1M-subscriber
+  macro (`cdn_macro_1m`) tractable without bending a single measured byte.
 
 The matching analytical models live in :mod:`repro.analysis.fanout`
 (static fan-out), :mod:`repro.analysis.churn` (failover recovery) and
@@ -42,6 +49,7 @@ measured-vs-model experiments are :mod:`repro.experiments.relay_fanout`
 """
 
 from repro.relaynet.spec import RelayTierSpec, RelayTreeSpec
+from repro.relaynet.aggregate import AggregateLeaf, expand_member_sequences
 from repro.relaynet.builder import RelayNode, RelayTree, RelayTreeBuilder, TreeSubscriber
 from repro.relaynet.origincluster import ClusterOrigin, OriginCluster, OriginPromotion
 from repro.relaynet.stats import RelayNetStats, TierStats
@@ -56,6 +64,8 @@ from repro.relaynet.topology import (
 )
 
 __all__ = [
+    "AggregateLeaf",
+    "expand_member_sequences",
     "RelayTierSpec",
     "RelayTreeSpec",
     "RelayNode",

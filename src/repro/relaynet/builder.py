@@ -34,6 +34,7 @@ from repro.moqt.track import FullTrackName
 from repro.netsim.network import Network
 from repro.netsim.packet import Address
 from repro.quic.connection import ConnectionConfig
+from repro.relaynet.aggregate import AggregateLeaf
 from repro.relaynet.spec import RelayTreeSpec
 from repro.relaynet.topology import (
     FailoverEvent,
@@ -88,6 +89,20 @@ class RelayTree:
     @property
     def subscribers(self) -> list[TreeSubscriber]:
         return self.topology.subscribers
+
+    @property
+    def aggregates(self) -> "list[AggregateLeaf]":
+        """Aggregate-leaf groups (empty for dense trees)."""
+        return self.topology.aggregates
+
+    @property
+    def subscriber_population(self) -> int:
+        """Total subscribers represented (dense count plus multiplicities)."""
+        return self.topology.subscriber_population
+
+    def split_subscriber(self, subscriber_index: int) -> TreeSubscriber:
+        """Materialise one aggregated member as a live dense subscriber."""
+        return self.topology.split_subscriber(subscriber_index)
 
     # ------------------------------------------------------------- structure
     def nodes(self) -> list[RelayNode]:
@@ -165,6 +180,11 @@ class RelayTreeBuilder:
         The replicated origin the tree hangs off, when one exists
         (:class:`~repro.relaynet.origincluster.OriginCluster`); forwarded
         to the topology so tier-0 failover can promote a standby.
+    aggregate_leaves:
+        When True, subscriber attaches run in counted aggregate-leaf mode
+        (:mod:`repro.relaynet.aggregate`): one live connection per leaf
+        group, statistics multiplied out at collection time, dense
+        materialisation on demand.
     """
 
     def __init__(
@@ -177,6 +197,7 @@ class RelayTreeBuilder:
         uplink_connection: ConnectionConfig | None = None,
         subscriber_connection: ConnectionConfig | None = None,
         origin_cluster: "OriginCluster | None" = None,
+        aggregate_leaves: bool = False,
     ) -> None:
         self.network = network
         self.origin = origin
@@ -186,6 +207,7 @@ class RelayTreeBuilder:
         self.uplink_connection = uplink_connection
         self.subscriber_connection = subscriber_connection
         self.origin_cluster = origin_cluster
+        self.aggregate_leaves = aggregate_leaves
         # Fail fast if the origin host is missing rather than at first subscribe.
         network.host(origin.host)
 
@@ -202,5 +224,6 @@ class RelayTreeBuilder:
                 uplink_connection=self.uplink_connection,
                 subscriber_connection=self.subscriber_connection,
                 origin_cluster=self.origin_cluster,
+                aggregate_leaves=self.aggregate_leaves,
             )
         )

@@ -45,6 +45,8 @@ checks them against the closed-form model in :mod:`repro.analysis.churn`.
 
 from __future__ import annotations
 
+import random
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Protocol
 
@@ -65,6 +67,7 @@ from repro.netsim.node import Host
 from repro.netsim.packet import Address
 from repro.quic.connection import ConnectionConfig
 from repro.quic.endpoint import QuicEndpoint
+from repro.relaynet.aggregate import AggregateLeaf, plan_leaf_assignments
 from repro.relaynet.spec import RelayTreeSpec
 
 if TYPE_CHECKING:
@@ -146,6 +149,11 @@ class TreeSubscriber:
     tracks: list[_SubscriberTrack] = field(default_factory=list)
     reattach_count: int = 0
     gap_fetches: int = 0
+    #: How many subscribers this object stands in for.  1 for every dense
+    #: subscriber; an aggregate-leaf representative carries its group's
+    #: member count, and every statistic collectors read off it (bytes,
+    #: objects, QUIC counters) is multiplied by this at collection time.
+    multiplicity: int = 1
 
     # ---------------------------------------------------------- subscriptions
     def subscribe_track(
@@ -422,6 +430,7 @@ class RelayTopology:
         uplink_connection: ConnectionConfig | None = None,
         subscriber_connection: ConnectionConfig | None = None,
         origin_cluster: "OriginCluster | None" = None,
+        aggregate_leaves: bool = False,
     ) -> None:
         self.network = network
         self.origin = origin
@@ -432,13 +441,27 @@ class RelayTopology:
         self.failover_policy = failover_policy if failover_policy is not None else SiblingFailover()
         self.uplink_connection = uplink_connection
         self.subscriber_connection = subscriber_connection
+        #: When True, :meth:`attach_subscribers` collapses each leaf's
+        #: homogeneous population into one counted representative
+        #: (:mod:`repro.relaynet.aggregate`); span-sampled indices and
+        #: churned members still run dense.
+        self.aggregate_leaves = aggregate_leaves
         self.tiers: list[list[RelayNode]] = []
         self.subscribers: list[TreeSubscriber] = []
+        #: Aggregate groups created by counted attaches (dissolved groups
+        #: stay listed, inert, so split history remains inspectable).
+        self.aggregates: list[AggregateLeaf] = []
+        #: Fired as ``hook(member, representative)`` the moment an
+        #: aggregated member is materialised, before it sees any new
+        #: traffic — experiments use it to copy per-subscriber accumulator
+        #: state (delivery sequences) from the representative.
+        self.on_subscriber_split: Callable[[TreeSubscriber, TreeSubscriber], None] | None = None
         #: Every join/leave/kill/detected failover applied to the tree, in order.
         self.events: list[FailoverEvent] = []
         self._tier_created: list[int] = []
         self._subscribers_created = 0
         self._nodes_by_relay: dict[MoqtRelay, RelayNode] = {}
+        self._groups_by_rep: dict[TreeSubscriber, AggregateLeaf] = {}
         # Fail fast if the origin host is missing rather than at first subscribe.
         network.host(origin.host)
         self._build(spec)
@@ -610,8 +633,14 @@ class RelayTopology:
         Each subscriber lands on the least-loaded alive leaf and opens an
         MoQT session to it immediately.  Call repeatedly to grow the
         population; host names continue from the total ever created.
+
+        With :attr:`aggregate_leaves` set, the same placement runs counted:
+        one representative per leaf group, dense materialisation only for
+        span-sampled indices (see :meth:`_attach_subscribers_aggregate`).
         """
         config = session_config if session_config is not None else self.session_config
+        if self.aggregate_leaves:
+            return self._attach_subscribers_aggregate(count, config, host_prefix)
         created: list[TreeSubscriber] = []
         # One batching region around the whole population: every subscriber's
         # first handshake flight collapses into one link-batch event instead
@@ -636,10 +665,141 @@ class RelayTopology:
         self.subscribers.extend(created)
         return created
 
+    def _attach_subscribers_aggregate(
+        self, count: int, config: MoqtSessionConfig, host_prefix: str
+    ) -> list[TreeSubscriber]:
+        """Counted attach: identical placement, one connection per leaf group.
+
+        Placement is planned with the same (load, index) least-loaded rule
+        the dense loop applies sequentially, so per-leaf populations — and
+        therefore every multiplied statistic — match the dense run exactly.
+        Span-sampled indices (``index % subscriber_sample_every == 0`` under
+        an active tracer) are materialised dense immediately so latency
+        breakdowns keep real per-subscriber delivery timestamps; everyone
+        else rides a representative with ``multiplicity = group size``.
+        Connection IDs come from index-derived private RNG streams, leaving
+        the global seeded stream untouched (creating 1M subscribers or 26
+        stand-ins draws the same zero values from it).
+        """
+        leaves = self.alive_leaves()
+        if not leaves:
+            raise RuntimeError("no alive leaf relays to attach subscribers to")
+        telemetry = getattr(self.network, "telemetry", None)
+        stride = 0
+        if telemetry is not None and telemetry.spans is not None:
+            stride = telemetry.spans.subscriber_sample_every
+        start = self._subscribers_created
+        assignments = plan_leaf_assignments(leaves, count, start)
+        self._subscribers_created += count
+        # Per-index plan built ascending so self.subscribers keeps the dense
+        # run's ordering (ascending by index).
+        plan: dict[int, tuple[RelayNode, AggregateLeaf | None]] = {}
+        for leaf, indices in zip(leaves, assignments):
+            if not indices:
+                continue
+            leaf.load += len(indices)
+            sampled = [i for i in indices if stride and i % stride == 0]
+            counted = [i for i in indices if not (stride and i % stride == 0)]
+            for index in sampled:
+                plan[index] = (leaf, None)
+            group = None
+            if len(counted) == 1:
+                plan[counted[0]] = (leaf, None)
+            elif counted:
+                group = AggregateLeaf(
+                    leaf=leaf, member_indices=counted, host_prefix=host_prefix
+                )
+                plan[counted[0]] = (leaf, group)
+            # Dense-identical TLS ticket issuance.  The dense run hands this
+            # leaf's k-th arriving subscriber ticket id base+k; reserve
+            # exactly those ids for the connections that really open here
+            # (ascending index = per-leaf arrival order) and jump the
+            # counter past the whole population so post-churn reconnects
+            # also draw dense-identical ids.  The ids are decimal strings
+            # on the wire, so the width difference between the counted
+            # members' dense tickets and the representative's — the one
+            # per-member heterogeneity in an otherwise replicated handshake
+            # — is recorded as this group's exact byte deficit.
+            context = leaf.relay.server_tls
+            base = context.next_ticket_id - 1
+            dense_ticket = {
+                index: base + position + 1 for position, index in enumerate(indices)
+            }
+            real = sorted(sampled + counted[:1])
+            context.queue_ticket_ids(
+                [dense_ticket[index] for index in real], base + len(indices) + 1
+            )
+            if group is not None:
+                rep_width = len(str(dense_ticket[counted[0]]))
+                group.handshake_byte_deficit = sum(
+                    len(str(dense_ticket[index])) for index in counted
+                ) - len(counted) * rep_width
+        created: list[TreeSubscriber] = []
+        self.network.begin_batch()
+        try:
+            for index in sorted(plan):
+                leaf, group = plan[index]
+                host = self.network.add_host(f"{host_prefix}-{index}")
+                self.network.connect(leaf.host, host, self.spec.subscriber_link)
+                session = self._open_subscriber_session(
+                    host, leaf, config, rng=random.Random(index)
+                )
+                multiplicity = group.multiplicity if group is not None else 1
+                subscriber = TreeSubscriber(
+                    index=index,
+                    host=host,
+                    session=session,
+                    leaf=leaf,
+                    config=config,
+                    multiplicity=multiplicity,
+                )
+                self._watch_subscriber_session(subscriber)
+                if group is not None:
+                    group.representative = subscriber
+                    self.aggregates.append(group)
+                    self._groups_by_rep[subscriber] = group
+                    downlink = self.network.link(leaf.host.address, host.address)
+                    downlink.multiplicity = multiplicity
+                    # ServerHellos flow leaf -> subscriber, so the ticket-id
+                    # width correction lands on the downlink only.
+                    downlink.extra_bytes = group.handshake_byte_deficit
+                    self.network.link(host.address, leaf.host.address).multiplicity = multiplicity
+                created.append(subscriber)
+        finally:
+            self.network.end_batch()
+        self.subscribers.extend(created)
+        return created
+
+    @property
+    def subscriber_population(self) -> int:
+        """Total subscribers represented (dense count plus multiplicities)."""
+        return sum(subscriber.multiplicity for subscriber in self.subscribers)
+
+    def split_subscriber(self, subscriber_index: int) -> TreeSubscriber:
+        """Materialise one aggregated member as a live dense subscriber.
+
+        The member gets its own host, session (index-derived connection-ID
+        stream) and cloned dedupe/recovery state, re-subscribes to every
+        live track with the standard resume-and-gap-FETCH machinery, and is
+        inserted into :attr:`subscribers` at its index position.  Raises
+        ``ValueError`` for indices that are not currently aggregated.
+        """
+        for group in self.aggregates:
+            if group.dissolved or subscriber_index not in group.member_indices:
+                continue
+            member = group.split(self, subscriber_index, connect=True)
+            insort(self.subscribers, member, key=lambda s: s.index)
+            return member
+        raise ValueError(f"subscriber {subscriber_index} is not aggregated")
+
     def _open_subscriber_session(
-        self, host: Host, leaf: RelayNode, config: MoqtSessionConfig
+        self,
+        host: Host,
+        leaf: RelayNode,
+        config: MoqtSessionConfig,
+        rng: random.Random | None = None,
     ) -> MoqtSession:
-        endpoint = QuicEndpoint(host)
+        endpoint = QuicEndpoint(host, rng=rng)
         connection_config = self.subscriber_connection
         if connection_config is None:
             connection_config = ConnectionConfig(alpn_protocols=(MOQT_ALPN,))
@@ -670,6 +830,12 @@ class RelayTopology:
                 if on_object is not None:
                     callback = lambda obj, sub=subscriber: on_object(sub, obj)
                 subscriptions.append(subscriber.subscribe_track(full_track_name, callback))
+                group = self._groups_by_rep.get(subscriber)
+                if group is not None:
+                    # Remember the raw two-arg callback so a member
+                    # materialised later delivers to the same application
+                    # hook the dense subscriber would have.
+                    group.record_track_callback(len(subscriber.tracks) - 1, on_object)
         finally:
             self.network.end_batch()
         return subscriptions
@@ -943,6 +1109,12 @@ class RelayTopology:
         )
         if node.parent is not None and node.parent.alive:
             node.parent.load -= 1
+        if self.aggregates:
+            # A dying leaf stops being homogeneous: dissolve its aggregate
+            # groups *before* orphan re-homing, so every member fails over
+            # individually (ascending by index — the exact order the dense
+            # run's subscriber list yields) through the standard path below.
+            self._dissolve_aggregates_on(node)
         if node.tier_index + 1 < len(self.tiers):
             for child in self.tiers[node.tier_index + 1]:
                 if child.alive and child.parent is node:
@@ -952,6 +1124,18 @@ class RelayTopology:
                 self._failover_subscriber(subscriber, event, now)
         self.events.append(event)
         return event
+
+    def _dissolve_aggregates_on(self, node: RelayNode) -> None:
+        """Materialise every member aggregated on ``node`` (it is dying)."""
+        members: list[TreeSubscriber] = []
+        for group in self.aggregates:
+            representative = group.representative
+            if group.dissolved or representative is None or representative.leaf is not node:
+                continue
+            members.extend(group.dissolve(self))
+        if members:
+            self.subscribers.extend(members)
+            self.subscribers.sort(key=lambda subscriber: subscriber.index)
 
     def _reparent_relay(
         self, child: RelayNode, dead: RelayNode, event: FailoverEvent, now: float
@@ -1092,7 +1276,10 @@ class RelayTopology:
             record.mark_reattached(self.network.simulator.now)
 
     def _resubscribe_subscriber_track(
-        self, subscriber: TreeSubscriber, track: _SubscriberTrack, record: FailoverRecord
+        self,
+        subscriber: TreeSubscriber,
+        track: _SubscriberTrack,
+        record: FailoverRecord | None,
     ) -> None:
         # Resume from the last delivered object (inclusive — the dedupe set
         # drops the boundary).  A subscriber that never received anything
@@ -1116,12 +1303,13 @@ class RelayTopology:
             sub: TreeSubscriber = subscriber,
             t: _SubscriberTrack = track,
             resume: Location | None = resume_from,
-            rec: FailoverRecord = record,
+            rec: FailoverRecord | None = record,
         ) -> None:
             if not subscription.is_active:
                 sub.flush_track(t)
                 return
-            rec.mark_reattached(self.network.simulator.now)
+            if rec is not None:
+                rec.mark_reattached(self.network.simulator.now)
             if resume is None or not t.recovery.active:
                 return
             # The resume point rides along (inclusive range) and is dropped

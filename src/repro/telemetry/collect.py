@@ -74,10 +74,10 @@ _QUIC_STAT_FIELDS = (
 )
 
 
-def _scrape_quic(totals: dict[str, int], connection) -> None:
+def _scrape_quic(totals: dict[str, int], connection, scale: int = 1) -> None:
     statistics = connection.statistics
     for field in _QUIC_STAT_FIELDS:
-        totals[field] += getattr(statistics, field)
+        totals[field] += getattr(statistics, field) * scale
 
 
 def collect_relay_tree(metrics: MetricsRegistry, tree) -> None:
@@ -87,10 +87,37 @@ def collect_relay_tree(metrics: MetricsRegistry, tree) -> None:
     ``tree`` is anything with ``tiers`` / ``subscribers`` / ``network``
     (:class:`~repro.relaynet.builder.RelayTree` or the underlying
     :class:`~repro.relaynet.topology.RelayTopology`).
+
+    Aggregate-leaf mode (``tree.aggregates`` non-empty) is transparent
+    here: every per-subscriber counter is weighted by the subscriber's
+    ``multiplicity``, the leaf tier's ``objects_forwarded`` gauge is
+    corrected for the copies the relay *would* have sent to the counted
+    members, and relay downstream QUIC totals are scaled per session via
+    the representative's connection address — so the exported gauges are
+    bit-identical to the dense run's.
     """
     if not metrics.enabled:
         return
     network = tree.network
+    # Aggregate-leaf corrections: a representative's live counters stand in
+    # for `multiplicity` identical member histories.  The relay-side scale
+    # map keys each leaf's downstream session by its peer address (= the
+    # representative session's local address).
+    leaf_objects_extra = 0
+    handshake_deficit = 0
+    downstream_scale: dict[object, int] = {}
+    for group in getattr(tree, "aggregates", ()):
+        representative = group.representative
+        if representative is None:
+            continue
+        extra = representative.multiplicity - 1
+        if extra <= 0:
+            continue
+        leaf_objects_extra += extra * representative.session.statistics.objects_received
+        handshake_deficit += group.handshake_byte_deficit
+        downstream_scale[representative.session.connection.local_address] = (
+            representative.multiplicity
+        )
     tier_gauges = {
         name: metrics.gauge(f"relaynet_{name}", help_text, labels=("tier",))
         for name, help_text in (
@@ -112,7 +139,8 @@ def collect_relay_tree(metrics: MetricsRegistry, tree) -> None:
     duplicate_drops = 0
     uplink_failures = 0
     upstream_switches = 0
-    for nodes in tree.tiers:
+    leaf_tier_index = len(tree.tiers) - 1
+    for tier_index, nodes in enumerate(tree.tiers):
         if not nodes:
             continue
         tier = nodes[0].tier_name
@@ -140,7 +168,13 @@ def collect_relay_tree(metrics: MetricsRegistry, tree) -> None:
             if uplink is not None:
                 _scrape_quic(quic_totals["relay-uplink"], uplink)
             for session in node.relay.downstream_sessions():
-                _scrape_quic(quic_totals["relay-downstream"], session.connection)
+                _scrape_quic(
+                    quic_totals["relay-downstream"],
+                    session.connection,
+                    downstream_scale.get(session.connection.peer_address, 1),
+                )
+        if tier_index == leaf_tier_index:
+            objects_forwarded += leaf_objects_extra
         tier_gauges["relays"].labels(tier).set(len(nodes))
         tier_gauges["uplink_bytes"].labels(tier).set(uplink_bytes)
         tier_gauges["objects_received"].labels(tier).set(objects_received)
@@ -149,21 +183,25 @@ def collect_relay_tree(metrics: MetricsRegistry, tree) -> None:
         tier_gauges["cache_misses"].labels(tier).set(cache_misses)
     subscriber_bytes = 0
     subscriber_objects = 0
+    subscriber_count = 0
     duplicates = 0
     gap_fetches = 0
     reattaches = 0
     for subscriber in tree.subscribers:
+        multiplicity = subscriber.multiplicity
         if network.has_link(subscriber.leaf.host.address, subscriber.host.address):
-            subscriber_bytes += network.link(
-                subscriber.leaf.host.address, subscriber.host.address
-            ).statistics.bytes_sent
-        subscriber_objects += subscriber.objects_delivered
-        duplicates += subscriber.duplicates_dropped
-        gap_fetches += subscriber.gap_fetches
-        reattaches += subscriber.reattach_count
-        _scrape_quic(quic_totals["subscriber"], subscriber.session.connection)
+            link = network.link(subscriber.leaf.host.address, subscriber.host.address)
+            subscriber_bytes += link.statistics.bytes_sent * multiplicity + link.extra_bytes
+        subscriber_objects += subscriber.objects_delivered * multiplicity
+        duplicates += subscriber.duplicates_dropped * multiplicity
+        gap_fetches += subscriber.gap_fetches * multiplicity
+        reattaches += subscriber.reattach_count * multiplicity
+        subscriber_count += multiplicity
+        _scrape_quic(
+            quic_totals["subscriber"], subscriber.session.connection, multiplicity
+        )
     metrics.gauge("relaynet_subscribers", "Subscribers attached to the tree").set(
-        len(tree.subscribers)
+        subscriber_count
     )
     metrics.gauge(
         "relaynet_subscriber_link_bytes", "Bytes over the subscriber access links"
@@ -195,6 +233,11 @@ def collect_relay_tree(metrics: MetricsRegistry, tree) -> None:
     metrics.gauge("relaynet_upstream_switches", "Relay uplink re-parent operations").set(
         upstream_switches
     )
+    # The ticket-width deficit is bytes the dense handshakes would have
+    # carried beyond the multiplied representatives': sent by the leaf
+    # relays, received by the subscribers.
+    quic_totals["relay-downstream"]["bytes_sent"] += handshake_deficit
+    quic_totals["subscriber"]["bytes_received"] += handshake_deficit
     quic_gauge = {
         field: metrics.gauge(
             f"quic_{field}", "QUIC connection totals by role", labels=("role",)
