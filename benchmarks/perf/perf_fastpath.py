@@ -40,7 +40,22 @@ Micro and macro layers cover the simulation fast path end to end:
   assert the in-band promotion (detect -> elect -> transplant) keeps every
   subscriber gapless, with the measured promotion latency matching the
   closed-form model in ``repro.analysis.promotion`` and zero control-plane
-  signals end to end.
+  signals end to end;
+* ``constrained_tiers_e15`` — the E15 bandwidth sweep: the E11 CDN tree on
+  finite per-tier bandwidth, charting the knee where serialisation delay
+  overtakes propagation.  The gates are machine-independent: every measured
+  delivery time must equal the closed-form model in
+  ``repro.analysis.constrained`` bit-exactly, the measured knee must land
+  on the modelled knee, the lossy-edge sample must repair every drop (with
+  NewReno congestion events observable), and the link-batch fallback-wave
+  counter must stay zero — constrained links batching is the bugfix this
+  experiment exists to pin;
+* ``constrained_macro_100k`` — the lossy constrained regime at the E11
+  macro population: 100,000 dense subscribers on 2 Mbit/s tiers with 0.5 %
+  access loss and NewReno on every relay's downstream side.  Runs in
+  ``--smoke`` (the regime the old silent per-datagram fallback made
+  unrunnable must stay inside the CI smoke budget) and gates on full loss
+  repair with zero fallback waves.
 
 Results are written to ``BENCH_fastpath.json`` (schema documented in
 ``benchmarks/perf/README.md``) so the performance trajectory of the repo is
@@ -73,6 +88,10 @@ import time
 from contextlib import contextmanager
 from pathlib import Path
 
+from repro.experiments.constrained_tiers import (
+    run_constrained_macro,
+    run_constrained_tiers,
+)
 from repro.experiments.failure_detection import run_failure_detection
 from repro.experiments.origin_failover import run_origin_failover
 from repro.experiments.relay_churn import run_relay_churn
@@ -92,7 +111,7 @@ from repro.telemetry.export import (
     write_prometheus,
 )
 
-SCHEMA = "bench-fastpath/v7"
+SCHEMA = "bench-fastpath/v8"
 
 #: Relative throughput loss beyond which ``--check`` fails the run.  Wide
 #: enough to absorb runner-class jitter (documented in the README); narrow
@@ -108,6 +127,7 @@ CHECK_TOLERANCE_OVERRIDES = {
     ("cdn_macro_10k", "seconds"): 0.75,
     ("cdn_macro_100k", "seconds"): 0.75,
     ("cdn_macro_1m", "seconds"): 0.75,
+    ("constrained_macro_100k", "seconds"): 0.75,
 }
 
 #: The micro-benchmark throughput fields ``--check`` gates on.
@@ -131,9 +151,14 @@ CHECKED_METRIC_FLOORS = (
 #: wall-clock ceilings ride the wide per-benchmark tolerance override above.
 CHECKED_METRIC_CEILINGS = (
     ("cdn_macro_10k", ("metrics", "events_per_wave")),
+    # The committed reference records zero fallback waves, so the ceiling
+    # band multiplies out to zero: any wave that degrades the 10k macro's
+    # fan-out to per-datagram transmission fails the smoke gate outright.
+    ("cdn_macro_10k", ("metrics", "link_batch_fallback_waves")),
     ("cdn_macro_10k", ("seconds",)),
     ("cdn_macro_100k", ("seconds",)),
     ("cdn_macro_1m", ("seconds",)),
+    ("constrained_macro_100k", ("seconds",)),
 )
 
 #: Sampling strides for the ``--metrics`` span tracer.  Every object is
@@ -150,9 +175,11 @@ BENCHMARK_KEYS = (
     "relay_churn",
     "failure_detection",
     "origin_failover",
+    "constrained_tiers_e15",
     "cdn_macro_10k",
     "cdn_macro_100k",
     "cdn_macro_1m",
+    "constrained_macro_100k",
 )
 
 #: Varint corpus: RFC 9000 boundary values of every size class plus
@@ -363,6 +390,10 @@ def _sample_metrics_block(sample, updates: int) -> dict[str, object]:
         # Scheduler cost of one pushed update's fan-out, with the (fixed-size)
         # setup cost amortised across the waves of this run.
         "events_per_wave": round(sample.events_scheduled / updates, 1),
+        # Fan-out waves that degraded to per-datagram transmission.  Zero on
+        # every link the harness builds (batching is bandwidth- and
+        # loss-aware); gated to stay zero by ``--check``.
+        "link_batch_fallback_waves": sample.link_batch_fallback_waves,
     }
 
 
@@ -659,6 +690,81 @@ def bench_origin_failover(
     }
 
 
+def bench_constrained_tiers_e15(
+    subscribers: int = 100, updates: int = 5, telemetry: Telemetry | None = None
+) -> dict[str, object]:
+    """E15 macro-benchmark: the serialisation-vs-propagation knee.
+
+    Wall-clock covers the whole sweep (eight bandwidth points plus the
+    lossy-edge sample).  Every correctness field is machine-independent —
+    bit-exact closed-form agreement, knee position, loss repair and the
+    fallback-wave counter — so the gates in :func:`main` hold on any
+    runner class.  ``telemetry`` is accepted for signature uniformity; the
+    constrained experiment does not thread a telemetry object.
+    """
+    del telemetry  # not threaded through the constrained experiment
+    with quiesced_gc():
+        start = time.perf_counter()
+        result = run_constrained_tiers(subscribers=subscribers, updates=updates)
+        elapsed = time.perf_counter() - start
+    return {
+        "subscribers": subscribers,
+        "updates": updates,
+        "sweep_points": len(result.samples),
+        "seconds": round(elapsed, 6),
+        "wire_bytes": result.wire_bytes,
+        "model_knee_index": result.model_knee_index,
+        "measured_knee_index": result.measured_knee_index,
+        "knee_matches_model": result.knee_matches_model,
+        "all_model_exact": result.all_model_exact,
+        "link_batch_fallback_waves": result.total_fallback_waves,
+        "sweep": result.rows(),
+        "loss_sample": result.loss_sample.as_row(),
+        "loss_repaired": result.loss_sample.repaired,
+        "loss_congestion_events": result.loss_sample.congestion_events,
+    }
+
+
+def bench_constrained_macro_100k(
+    subscribers: int = 100_000, updates: int = 5, telemetry: Telemetry | None = None
+) -> dict[str, object]:
+    """100,000-subscriber macro on constrained, lossy tiers (always dense).
+
+    2 Mbit/s on every tier, 0.5 % independent loss on the access links and
+    NewReno on every relay's downstream connection.  Gated in :func:`main`
+    on full loss repair (every update reaches every subscriber), observable
+    congestion-controller activity and zero fallback waves; wall-clock rides
+    the wide macro ``--check`` ceiling.  RSS is reported the same way as the
+    ideal-link macros (forked isolation in :func:`run`).
+    """
+    del telemetry  # not threaded through the constrained experiment
+    rss_baseline = peak_rss_bytes()
+    with quiesced_gc(freeze=True) as gc_info:
+        start = time.perf_counter()
+        result = run_constrained_macro(subscribers=subscribers, updates=updates)
+        elapsed = time.perf_counter() - start
+    peak_rss = peak_rss_bytes()
+    return {
+        "subscribers": subscribers,
+        "updates": updates,
+        "bandwidth_bps": 2_000_000.0,
+        "access_loss": 0.005,
+        "seconds": round(elapsed, 6),
+        "delivered_objects": result.delivered,
+        "expected_objects": result.expected,
+        "repaired_ok": result.repaired,
+        "retransmissions": result.retransmissions,
+        "congestion_events": result.congestion_events,
+        "link_batch_fallback_waves": result.link_batch_fallback_waves,
+        "events_scheduled": result.events_scheduled,
+        "peak_rss_bytes": peak_rss,
+        "rss_baseline_bytes": rss_baseline,
+        "rss_delta_bytes": max(0, peak_rss - rss_baseline),
+        "rss_isolated": False,
+        "metrics": {"gc_frozen_objects": gc_info["frozen"]},
+    }
+
+
 def run(
     smoke: bool = False,
     skip_macro: bool = False,
@@ -717,14 +823,22 @@ def run(
             subscribers=200 if smoke else 1000, telemetry=telemetry
         )
         harvest("origin_failover")
+    if selected("constrained_tiers_e15"):
+        benchmarks["constrained_tiers_e15"] = bench_constrained_tiers_e15(
+            telemetry=telemetry
+        )
     macro_plan = [("cdn_macro_10k", bench_cdn_macro_10k)]
     if not smoke:
         macro_plan.append(("cdn_macro_100k", bench_cdn_macro_100k))
         macro_plan.append(("cdn_macro_1m", bench_cdn_macro_1m))
+    # The constrained macro runs in --smoke too: the acceptance criterion is
+    # precisely that the lossy constrained regime at 100k completes inside
+    # the CI smoke budget now that batching is bandwidth- and loss-aware.
+    macro_plan.append(("constrained_macro_100k", bench_constrained_macro_100k))
     macro_plan = [
         (name, fn) for name, fn in macro_plan if not skip_macro and selected(name)
     ]
-    if macro_plan:
+    if any(name.startswith("cdn_macro") for name, _ in macro_plan):
         # Warm the dense 1k reference memo in *this* process before any
         # macro forks: the children inherit it copy-on-write, so the
         # reference fan-out is measured exactly once per harness run.
@@ -825,7 +939,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-macro",
         action="store_true",
-        help="skip the 10k/100k/1M-subscriber macro-benchmarks",
+        help="skip the 10k/100k/1M-subscriber and constrained macro-benchmarks",
     )
     parser.add_argument(
         "--repeat",
@@ -885,7 +999,12 @@ def main(argv: list[str] | None = None) -> int:
                 f"valid keys: {', '.join(BENCHMARK_KEYS)}"
             )
         excluded = []
-        macro_keys = ("cdn_macro_10k", "cdn_macro_100k", "cdn_macro_1m")
+        macro_keys = (
+            "cdn_macro_10k",
+            "cdn_macro_100k",
+            "cdn_macro_1m",
+            "constrained_macro_100k",
+        )
         if args.skip_macro:
             excluded += [key for key in macro_keys if key in only]
         elif args.smoke:
@@ -1017,6 +1136,64 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         if failover["control_plane_kills"] or failover["false_positive_events"]:
             print("FAIL: origin failover used control-plane signals or false positives", file=sys.stderr)
+            return 1
+    constrained = benchmarks.get("constrained_tiers_e15")
+    if constrained is not None:
+        if not constrained["all_model_exact"]:
+            print(
+                "FAIL: constrained_tiers_e15: a delivery time diverged from "
+                "the closed-form serialisation model",
+                file=sys.stderr,
+            )
+            return 1
+        if not constrained["knee_matches_model"]:
+            print(
+                "FAIL: constrained_tiers_e15: measured knee "
+                f"{constrained['measured_knee_index']} != modelled knee "
+                f"{constrained['model_knee_index']}",
+                file=sys.stderr,
+            )
+            return 1
+        if constrained["link_batch_fallback_waves"]:
+            print(
+                "FAIL: constrained_tiers_e15: constrained links fell back to "
+                "per-datagram transmission",
+                file=sys.stderr,
+            )
+            return 1
+        if not constrained["loss_repaired"] or constrained["loss_congestion_events"] <= 0:
+            print(
+                "FAIL: constrained_tiers_e15: lossy-edge sample did not repair "
+                "with observable congestion control",
+                file=sys.stderr,
+            )
+            return 1
+    constrained_macro = benchmarks.get("constrained_macro_100k")
+    if constrained_macro is not None:
+        if not constrained_macro["repaired_ok"]:
+            print(
+                "FAIL: constrained_macro_100k: "
+                f"{constrained_macro['delivered_objects']} of "
+                f"{constrained_macro['expected_objects']} objects delivered",
+                file=sys.stderr,
+            )
+            return 1
+        if constrained_macro["link_batch_fallback_waves"]:
+            print(
+                "FAIL: constrained_macro_100k: constrained links fell back to "
+                "per-datagram transmission",
+                file=sys.stderr,
+            )
+            return 1
+        if (
+            constrained_macro["retransmissions"] <= 0
+            or constrained_macro["congestion_events"] <= 0
+        ):
+            print(
+                "FAIL: constrained_macro_100k: loss repair left no "
+                "retransmission/congestion-controller trace",
+                file=sys.stderr,
+            )
             return 1
     if args.check:
         failures = check_against_reference(document, Path(args.check))

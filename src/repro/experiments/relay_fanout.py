@@ -67,6 +67,9 @@ class TreeRun:
     pool_counters: dict[str, int]
     #: Lazy-deletion heap compactions over the whole run.
     compactions: int
+    #: Fan-out waves that degraded to per-datagram transmission (must stay 0
+    #: now that constrained links batch; gated in the perf harness).
+    link_batch_fallback_waves: int = 0
 
 
 def _run_tree(
@@ -157,6 +160,7 @@ def _run_tree(
         events_scheduled=simulator.events_scheduled,
         pool_counters=network.datagram_pool.counters(),
         compactions=simulator.compactions,
+        link_batch_fallback_waves=network.link_batch_fallback_waves,
     )
 
 
@@ -196,6 +200,9 @@ class FanoutSample:
     compactions: int = 0
     #: Per-tier latency summary from span tracing (None when tracing is off).
     latency: dict[str, object] | None = None
+    #: Fan-out waves degraded to per-datagram transmission (0 unless a link
+    #: was explicitly marked non-batchable).
+    link_batch_fallback_waves: int = 0
 
     @property
     def max_tier_byte_deviation(self) -> float:
@@ -332,6 +339,7 @@ def run_relay_fanout(
                 pool_counters=run.pool_counters,
                 compactions=run.compactions,
                 latency=latency,
+                link_batch_fallback_waves=run.link_batch_fallback_waves,
             )
         )
     return RelayFanoutResult(

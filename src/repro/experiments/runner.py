@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.experiments.compatibility import run_compatibility
+from repro.experiments.constrained_tiers import run_constrained_tiers
 from repro.experiments.failure_detection import run_failure_detection
 from repro.experiments.fig1a import run_fig1a
 from repro.experiments.origin_failover import run_origin_failover
@@ -144,6 +145,23 @@ def run_all(fast: bool = True) -> list[ExperimentReport]:
     reports.append(
         ExperimentReport("E14", "§3/§5.3 — origin failover: replicated origin, in-band promotion",
                          failover_table, failover)
+    )
+    constrained = run_constrained_tiers(
+        subscribers=20 if fast else 100,
+        updates=3 if fast else 5,
+        mid_relays=2 if fast else 4,
+        edge_per_mid=2 if fast else 4,
+    )
+    constrained_table = "\n\n".join(
+        [
+            format_table(constrained.rows()),
+            format_table([constrained.loss_sample.as_row()]),
+            format_table([constrained.summary_row()]),
+        ]
+    )
+    reports.append(
+        ExperimentReport("E15", "§3/§5.3 — constrained tiers: the serialisation-vs-propagation knee",
+                         constrained_table, constrained)
     )
     return reports
 

@@ -200,6 +200,12 @@ class MoqtRelay:
         on in-band failure detection (E13) enable keepalives and tune the
         idle timeout here; the default is the plain MoQT-ALPN configuration
         the static experiments have always used (wire-identical).
+    downstream_connection:
+        QUIC connection configuration applied to every *accepted* downstream
+        connection.  This is where a congestion controller for the loss-
+        facing fan-out side is installed (the edge relay is the sender on
+        constrained access links); ``None`` keeps the historical default
+        configuration, wire-identical to pre-congestion-control builds.
     """
 
     def __init__(
@@ -210,6 +216,7 @@ class MoqtRelay:
         session_config: MoqtSessionConfig | None = None,
         tier: str = "",
         upstream_connection: ConnectionConfig | None = None,
+        downstream_connection: ConnectionConfig | None = None,
     ) -> None:
         self.host = host
         self.simulator = host.simulator
@@ -241,6 +248,7 @@ class MoqtRelay:
             host,
             port=port,
             server_tls=ServerTlsContext(alpn_protocols=(MOQT_ALPN,)),
+            server_config=downstream_connection,
             on_connection=self._on_downstream_connection,
         )
         self._client_endpoint = QuicEndpoint(host)

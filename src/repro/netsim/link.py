@@ -13,6 +13,7 @@ traffic experiments read back.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
@@ -36,6 +37,37 @@ class BatchSink(Protocol):
         """Leave the region; the outermost exit flushes collected datagrams."""
 
 
+_fallback_warning_issued = False
+
+
+def note_batch_fallback(batch_sink: "BatchSink | None") -> None:
+    """Record one batched wave degrading to per-datagram transmission.
+
+    The degradation used to be silent — and silently forfeited every
+    fan-out win whenever a link had bandwidth or loss configured.  Standard
+    links no longer trigger it at all; when an explicitly non-batchable
+    link does, the wave is counted on the batch sink's
+    ``link_batch_fallback_waves`` attribute (exported as the
+    ``net_link_batch_fallback_waves`` telemetry gauge and gated to zero in
+    the perf harness) and a :class:`RuntimeWarning` is issued once per
+    process so regressions of the old bug cannot hide again.
+    """
+    global _fallback_warning_issued
+    if not _fallback_warning_issued:
+        _fallback_warning_issued = True
+        warnings.warn(
+            "Link.transmit_many degraded to per-datagram transmission for a "
+            "wave containing a non-batchable link; fan-out batching is "
+            "forfeited for this wave (counted in link_batch_fallback_waves)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    if batch_sink is not None:
+        counter = getattr(batch_sink, "link_batch_fallback_waves", None)
+        if counter is not None:
+            batch_sink.link_batch_fallback_waves = counter + 1
+
+
 @dataclass(frozen=True)
 class LinkConfig:
     """Configuration of one direction of a link.
@@ -49,6 +81,27 @@ class LinkConfig:
         serialisation delay).
     loss_rate:
         Independent per-datagram drop probability in ``[0, 1)``.
+        ``loss_rate == 1.0`` is rejected: a link that drops everything is a
+        partition, which the experiments model by crashing/abandoning the
+        peer instead — and a guaranteed drop would still consume one RNG
+        draw per datagram, distorting every seeded stream for no signal.
+
+    RNG draw-order contract (frozen)
+    --------------------------------
+    Loss is decided at *enqueue* time with **exactly one**
+    ``simulator.rng.random()`` draw per datagram on a lossy link
+    (``loss_rate > 0``) and **zero** draws on a loss-free link.  Draws
+    happen in transmission order: per-datagram :meth:`Link.transmit` draws
+    when called, and a batched fan-out wave
+    (:meth:`Link.transmit_many` / the network's batching regions) draws
+    once per entry in first-collected (FIFO) order when the wave is
+    flushed — the same sequence of draws a loop of per-datagram
+    ``transmit`` calls at the flush instant would make.  Serialisation
+    never draws: the FIFO busy time is advanced deterministically, and a
+    *dropped* datagram does not advance it (loss is decided before the
+    datagram would occupy the wire).  Seeded experiment outputs are frozen
+    on this ordering; see the draw-order regression test in
+    ``tests/test_constrained_batch.py``.
     """
 
     delay: float = 0.010
@@ -110,7 +163,7 @@ class Link:
         "batchable",
         "statistics",
         "multiplicity",
-        "extra_bytes",
+        "_extra_bytes",
     )
 
     def __init__(
@@ -128,12 +181,17 @@ class Link:
         self._delay = config.delay
         self._bandwidth = config.bandwidth
         self._loss_rate = config.loss_rate
-        #: Whether this link qualifies for batched transmission: without a
-        #: bandwidth limit or loss there is no FIFO serialisation state and no
-        #: RNG draw per datagram, so N same-delay transmissions collapse into
-        #: one heap event without changing delivery times, order or the
-        #: seeded random stream.
-        self.batchable = config.bandwidth is None and config.loss_rate == 0.0
+        #: Whether this link qualifies for batched transmission.  True for
+        #: every standard link: the batch path replays per-datagram semantics
+        #: exactly — per-entry loss draws in FIFO order, FIFO serialisation
+        #: with dropped datagrams not advancing the busy time — grouping a
+        #: wave into one heap event per distinct arrival instant (links with
+        #: bandwidth or loss used to force a per-datagram fallback; that
+        #: fallback forfeited every fan-out win the moment a link was
+        #: realistic).  A link subclass or test may clear the flag to opt
+        #: out; such entries degrade :meth:`transmit_many` to per-datagram
+        #: :meth:`transmit` and bump the observable fallback counter.
+        self.batchable = True
         self.statistics = LinkStatistics()
         #: How many identical physical links this one stands in for.  1 for
         #: ordinary links; an aggregate-leaf representative's access link
@@ -141,17 +199,40 @@ class Link:
         #: the counters by it at collection time (per-datagram behaviour is
         #: unaffected — the link itself stays a single FIFO).
         self.multiplicity = 1
-        #: Additive byte correction applied (once, not multiplied) on top of
-        #: the multiplied totals.  An aggregate representative's handshake
-        #: carries one concrete TLS ticket id; the counted members' dense
-        #: handshakes would have carried different decimal widths, and the
-        #: exact difference — known at attach time — lands here.
-        self.extra_bytes = 0
+        self._extra_bytes = 0
 
     @property
     def config(self) -> LinkConfig:
         """The link configuration."""
         return self._config
+
+    @property
+    def extra_bytes(self) -> int:
+        """Additive byte correction applied (once, not multiplied) on top of
+        the multiplied totals.  An aggregate representative's handshake
+        carries one concrete TLS ticket id; the counted members' dense
+        handshakes would have carried different decimal widths, and the
+        exact difference — known at attach time — lands here.
+
+        The correction is *accounting only*: it is added to byte totals at
+        collection time but never enters serialisation delay (the counted
+        members' handshakes were never on this wire).  The setter therefore
+        rejects a non-zero correction on a constrained link — there the
+        missing serialisation time would make aggregate and dense runs
+        silently diverge, so such populations must stay dense.
+        """
+        return self._extra_bytes
+
+    @extra_bytes.setter
+    def extra_bytes(self, value: int) -> None:
+        if value and (self._bandwidth is not None or self._loss_rate > 0.0):
+            raise ValueError(
+                "extra_bytes is an accounting-only correction and cannot be "
+                "applied to a bandwidth- or loss-constrained link: the "
+                "counted bytes would be missing from serialisation delay "
+                f"(bandwidth={self._bandwidth}, loss_rate={self._loss_rate})"
+            )
+        self._extra_bytes = value
 
     def transmit(self, datagram: Datagram) -> None:
         """Send a datagram across the link.
@@ -194,22 +275,27 @@ class Link:
         entries: list[tuple["Link", Datagram]],
         batch_sink: "BatchSink | None" = None,
     ) -> None:
-        """Send many (link, datagram) pairs, one heap event per delay value.
+        """Send many (link, datagram) pairs, one heap event per arrival slot.
 
         The batch form of :meth:`transmit` for fan-out: an edge relay pushing
         one object to N subscribers over N same-configuration links schedules
-        a single event carrying the recipient list instead of N events.  Per-
-        recipient delivery order, delivery times and the seeded RNG stream
-        are preserved exactly **when every link is batchable** (no bandwidth
-        limit, no loss); entries over non-batchable links make the whole call
-        degrade to per-datagram :meth:`transmit` so the FIFO-serialisation
-        and loss semantics (including RNG draw order) cannot drift.
+        a single event carrying the recipient list instead of N events.  The
+        batch path is bandwidth- and loss-aware: per-recipient delivery
+        order, delivery times, byte counters and the seeded RNG stream are
+        preserved exactly for *any* standard link (see
+        :meth:`_transmit_batched` for the argument).  Entries over links
+        explicitly marked non-batchable make the whole call degrade to
+        per-datagram :meth:`transmit`; the degradation is observable — it
+        bumps ``link_batch_fallback_waves`` on the batch sink and warns once
+        per process — because a silent fallback here once forfeited every
+        fan-out win on constrained links.
 
         ``batch_sink`` (usually the owning :class:`~repro.netsim.network.Network`)
         is re-entered around the delivery callbacks so that datagrams sent in
         response — ACKs, handshake replies — are batched as well.
         """
         if not all(link.batchable for link, _ in entries):
+            note_batch_fallback(batch_sink)
             for link, datagram in entries:
                 link.transmit(datagram)
             return
@@ -225,24 +311,54 @@ class Link:
         (the network's batching region) that only ever collect batchable
         links.
 
-        Entries are grouped by delay, preserving first-seen order.  Same-delay
-        entries share one event; different delays arrive at different
-        instants, so scheduling the groups in first-seen order keeps
-        (time, sequence) ordering identical to per-datagram transmission.
+        Equivalence to a loop of per-datagram :meth:`transmit` calls at the
+        flush instant, entry by entry in FIFO order:
+
+        * the loss draw (one ``rng.random()`` per entry on a lossy link,
+          none otherwise) happens in entry order, exactly as the loop's
+          sequential ``transmit`` calls would draw — nothing else touches
+          the simulator RNG between the entries of a wave;
+        * the FIFO serialisation state advances identically:
+          ``start = max(now, busy_until)``, ``busy_until = start + size·8/bw``,
+          with dropped entries *not* advancing it — the same statements, in
+          the same float-operation order, as :meth:`transmit`;
+        * each surviving entry's arrival instant is therefore bit-identical
+          to the per-datagram path's; entries are grouped by that instant in
+          first-seen order and each group scheduled as one heap event.  The
+          heap orders events by ``(time, sequence)`` and a group's
+          deliveries run in entry order, so the realised delivery sequence
+          — across groups and within them — is exactly the per-datagram
+          one, with N heap events collapsed into one per distinct arrival
+          slot (unconstrained same-delay fan-out keeps its single wave
+          event; a bandwidth-limited link serialises into per-entry slots
+          but still costs one event per slot, not per datagram).
         """
         groups: dict[float, list[tuple[Link, Datagram]]] = {}
+        now = simulator.now
         for entry in entries:
             link = entry[0]
+            size = len(entry[1].payload)
             statistics = link.statistics
             statistics.datagrams_sent += 1
-            statistics.bytes_sent += len(entry[1].payload)
-            group = groups.get(link._delay)
+            statistics.bytes_sent += size
+            if link._loss_rate > 0.0:
+                if simulator.rng.random() < link._loss_rate:
+                    statistics.datagrams_dropped += 1
+                    entry[1].release()  # pooled shells recycle on drop, too
+                    continue
+            if link._bandwidth is not None:
+                start = max(now, link._busy_until)
+                serialisation = size * 8 / link._bandwidth
+                link._busy_until = start + serialisation
+                arrival = link._busy_until + link._delay
+            else:
+                arrival = now + link._delay
+            group = groups.get(arrival)
             if group is None:
-                groups[link._delay] = group = []
+                groups[arrival] = group = []
             group.append(entry)
-        now = simulator.now
-        for delay, group in groups.items():
-            simulator.call_at(now + delay, Link._arrive_many, group, batch_sink)
+        for arrival, group in groups.items():
+            simulator.call_at(arrival, Link._arrive_many, group, batch_sink)
 
     @staticmethod
     def _arrive_many(

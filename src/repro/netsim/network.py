@@ -18,7 +18,7 @@ from __future__ import annotations
 import heapq
 from typing import Iterable
 
-from repro.netsim.link import Link, LinkConfig
+from repro.netsim.link import Link, LinkConfig, note_batch_fallback
 from repro.netsim.node import Host
 from repro.netsim.packet import Datagram, DatagramPool
 from repro.netsim.simulator import Simulator
@@ -62,6 +62,15 @@ class Network:
         self.batching_enabled = True
         self._batch_depth = 0
         self._batch: list[tuple[Link, Datagram]] = []
+        #: Waves (outermost batching regions) in which at least one datagram
+        #: degraded to per-datagram transmission because its link was marked
+        #: non-batchable.  Standard links are always batchable — bandwidth
+        #: and loss included — so this stays zero in every shipped scenario;
+        #: it is exported as the ``net_link_batch_fallback_waves`` gauge and
+        #: gated to zero in the perf harness so the old silent-fallback bug
+        #: cannot regress unnoticed.
+        self.link_batch_fallback_waves = 0
+        self._batch_fallback_pending = False
 
     # ------------------------------------------------------------------ hosts
     def add_host(self, address: str) -> Host:
@@ -166,11 +175,15 @@ class Network:
     def end_batch(self) -> None:
         """Leave a batching region, flushing on the outermost exit."""
         self._batch_depth -= 1
-        if self._batch_depth == 0 and self._batch:
-            entries, self._batch = self._batch, []
-            # route() only collects batchable links, so the guard in
-            # transmit_many would be a wasted O(n) scan here.
-            Link._transmit_batched(self.simulator, entries, self)
+        if self._batch_depth == 0:
+            if self._batch_fallback_pending:
+                self._batch_fallback_pending = False
+                note_batch_fallback(self)
+            if self._batch:
+                entries, self._batch = self._batch, []
+                # route() only collects batchable links, so the guard in
+                # transmit_many would be a wasted O(n) scan here.
+                Link._transmit_batched(self.simulator, entries, self)
 
     # ---------------------------------------------------------------- routing
     def route(self, datagram: Datagram) -> None:
@@ -194,8 +207,16 @@ class Network:
             return
         link = self._links.get((source, destination))
         if link is not None:
-            if self._batch_depth and link.batchable and self.batching_enabled:
-                self._batch.append((link, datagram))
+            if self._batch_depth and self.batching_enabled:
+                if link.batchable:
+                    self._batch.append((link, datagram))
+                else:
+                    # Explicitly non-batchable link inside a batching region:
+                    # transmit per-datagram now (preserving RNG draw order
+                    # relative to the surrounding sends) and mark the wave so
+                    # the outermost end_batch records one observable fallback.
+                    self._batch_fallback_pending = True
+                    link.transmit(datagram)
             else:
                 link.transmit(datagram)
             return

@@ -35,9 +35,11 @@ from typing import Callable
 
 from repro.netsim.packet import Address, Datagram
 from repro.netsim.simulator import Simulator, Timer
+from repro.quic.congestion import NULL_CONGESTION, CongestionController
 from repro.quic.errors import QuicConnectionError, TransportErrorCode
 from repro.quic.frames import (
     AckFrame,
+    AckRangesFrame,
     ConnectionCloseFrame,
     CryptoFrame,
     DatagramFrame,
@@ -89,6 +91,25 @@ class ConnectionConfig:
         Whether the client attempts 0-RTT resumption when it has a ticket.
     initial_rtt:
         Seed for the retransmission timer before an RTT sample exists.
+    liveness_suspect_after:
+        Consecutive probe timeouts before the peer is *suspected* dead
+        (``None`` keeps the class default,
+        :attr:`QuicConnection.LIVENESS_SUSPECT_AFTER`).  The default of 2 is
+        tuned for loss-free links, where consecutive PTOs really do mean
+        the peer stopped talking; on links with random loss a double drop
+        (data or ACK, twice in a row) hits the same signature with
+        probability ``~loss**2`` *per packet*, so fleets of lossy-edge
+        connections should raise this — at the fan-out experiments' 0.5 %
+        access loss, threshold 2 fires a false suspicion every ~10k packets
+        and each one evacuates a whole leaf.
+    congestion_controller:
+        Factory producing a fresh
+        :class:`~repro.quic.congestion.CongestionController` per connection
+        (each connection needs its own window state).  ``None`` — the
+        default — installs the shared stateless
+        :data:`~repro.quic.congestion.NULL_CONGESTION`, which never blocks
+        and leaves every seeded output bit-identical to a build without
+        congestion control.
     """
 
     alpn_protocols: tuple[str, ...] = ("moq-00",)
@@ -96,6 +117,8 @@ class ConnectionConfig:
     keepalive_interval: float | None = None
     enable_0rtt: bool = True
     initial_rtt: float = 0.1
+    liveness_suspect_after: int | None = None
+    congestion_controller: Callable[[], CongestionController] | None = None
 
 
 class _EncodedStreamPacket:
@@ -121,6 +144,21 @@ class _EncodedStreamPacket:
     @property
     def frames(self) -> tuple[StreamFrame, ...]:
         return (StreamFrame(stream_id=self.stream_id, offset=0, data=self.chunk, fin=True),)
+
+
+def _frames_wire_estimate(frames: "list[Frame] | tuple[Frame, ...]") -> int:
+    """Approximate wire size of a packet carrying ``frames``.
+
+    Used only for the congestion window's admission check (the controller is
+    fed exact sizes once a packet is actually transmitted): payload bytes
+    dominate, so per-frame framing and the packet header are charged a flat
+    8 bytes each.
+    """
+    size = 8
+    for frame in frames:
+        data = getattr(frame, "data", b"")
+        size += len(data) + 8
+    return size
 
 
 @dataclass(slots=True)
@@ -185,10 +223,15 @@ class QuicConnection:
         "_next_stream_sequence",
         "_next_packet_number",
         "_largest_acked",
+        "_received_ranges",
         "_unacked",
         "_queued_app_frames",
         "_smoothed_rtt",
         "_sent_times",
+        "_cc",
+        "_cc_active",
+        "_cc_sizes",
+        "_cwnd_blocked",
         "_consecutive_loss_timeouts",
         "_loss_timer",
         "_idle_timer",
@@ -275,10 +318,32 @@ class QuicConnection:
         # Packetisation and loss recovery.
         self._next_packet_number = 0
         self._largest_acked = -1
+        #: Packet numbers received from the peer, as merged inclusive
+        #: ``[start, end]`` runs in ascending order.  On loss-free links this
+        #: is always the single run ``[0, largest]`` (links deliver FIFO), so
+        #: ACKs stay in their compact cumulative form; a gap switches the
+        #: ACKs to exact ranges until pruned (see :meth:`_record_received`).
+        self._received_ranges: list[list[int]] = []
         self._unacked: dict[int, Packet] = {}
         self._queued_app_frames: list[Frame] = []
         self._smoothed_rtt = config.initial_rtt
         self._sent_times: dict[int, float] = {}
+        # Congestion control.  The default Null controller is a shared
+        # stateless singleton and declares itself inert; ``_cc_active`` is
+        # hoisted so the fan-out fast path pays one attribute read, not a
+        # method dispatch, when no real controller is installed.
+        factory = config.congestion_controller
+        self._cc: CongestionController = factory() if factory is not None else NULL_CONGESTION
+        self._cc_active = self._cc.active
+        #: Wire sizes of in-flight ack-eliciting packets, kept only while a
+        #: real controller is installed (it is fed (packet, size) pairs on
+        #: ack/loss/discard).
+        self._cc_sizes: dict[int, int] = {}
+        #: FIFO of frame tuples held back by the congestion window, flushed
+        #: oldest-first as ACKs (or loss-driven window collapses) reopen it.
+        #: The packet type is recomputed at flush time so early data queued
+        #: before handshake completion upgrades to ONE_RTT.
+        self._cwnd_blocked: list[tuple[Frame, ...]] = []
         self._consecutive_loss_timeouts = 0
         self._loss_timer = Timer(simulator, self._on_loss_timeout)
         self._idle_timer = Timer(simulator, self._on_idle_timeout)
@@ -295,6 +360,16 @@ class QuicConnection:
     def smoothed_rtt(self) -> float:
         """The current RTT estimate."""
         return self._smoothed_rtt
+
+    @property
+    def congestion(self) -> CongestionController:
+        """The installed congestion controller (telemetry reads its gauges)."""
+        return self._cc
+
+    @property
+    def cwnd_blocked_packets(self) -> int:
+        """Packets currently held back by the congestion window."""
+        return len(self._cwnd_blocked)
 
     @property
     def handshake_rtts(self) -> float:
@@ -380,11 +455,18 @@ class QuicConnection:
         self._flush_queued_app_frames()
 
     def _requeue_zero_rtt(self) -> None:
+        discarded: list[tuple[int, int]] = []
         for packet_number, packet in sorted(self._unacked.items()):
             if packet.packet_type == PacketType.ZERO_RTT:
                 self._queued_app_frames.extend(packet.frames)
                 del self._unacked[packet_number]
                 self._sent_times.pop(packet_number, None)
+                if self._cc_active and packet_number in self._cc_sizes:
+                    discarded.append((packet_number, self._cc_sizes.pop(packet_number)))
+        if discarded:
+            # Rejected early data leaves the in-flight ledger without being
+            # acked and without signalling congestion (RFC 9002 §6.2.3).
+            self._cc.on_packets_discarded(discarded)
 
     # ---------------------------------------------------------------- streams
     def open_stream(self, direction: StreamDirection = StreamDirection.BIDIRECTIONAL) -> QuicStream:
@@ -449,6 +531,27 @@ class QuicConnection:
         sequence = self._next_stream_sequence[StreamDirection.UNIDIRECTIONAL]
         self._next_stream_sequence[StreamDirection.UNIDIRECTIONAL] = sequence + 1
         stream_id = make_stream_id(sequence, self.is_client, StreamDirection.UNIDIRECTIONAL)
+        chunk_length = len(chunk)
+        # frame type (1) + offset varint 0 (1) + fin byte (1) = 3.
+        payload_length = 3 + varint_size(stream_id) + varint_size(chunk_length) + chunk_length
+        if self._cc_active:
+            wire_size = (
+                1
+                + varint_size(self.connection_id)
+                + varint_size(self._next_packet_number)
+                + varint_size(payload_length)
+                + payload_length
+            )
+            if self._cwnd_blocked or not self._cc.can_send(wire_size):
+                # Window full (or earlier sends already waiting — FIFO order
+                # is part of the wire contract): hold the stream back; the ID
+                # is already allocated and returned.  The flush path sends it
+                # through _send_packet, whose encoding is byte-identical to
+                # the hand-assembled fast path below.
+                self._cwnd_blocked.append(
+                    (StreamFrame(stream_id=stream_id, offset=0, data=chunk, fin=True),)
+                )
+                return stream_id
         packet_number = self._next_packet_number
         self._next_packet_number = packet_number + 1
         self._unacked[packet_number] = _EncodedStreamPacket(stream_id, chunk)
@@ -460,9 +563,6 @@ class QuicConnection:
         # Byte-identical to Packet(ONE_RTT, cid, pn, (StreamFrame(stream_id,
         # offset=0, chunk, fin=True),)).encode(): the frame payload length is
         # computed up front so header and payload share one buffer.
-        chunk_length = len(chunk)
-        # frame type (1) + offset varint 0 (1) + fin byte (1) = 3.
-        payload_length = 3 + varint_size(stream_id) + varint_size(chunk_length) + chunk_length
         buffer.append(int(PacketType.ONE_RTT))
         append_varint(buffer, self.connection_id)
         append_varint(buffer, packet_number)
@@ -475,6 +575,9 @@ class QuicConnection:
         buffer += chunk
         self.statistics.packets_sent += 1
         self.statistics.bytes_sent += len(buffer)
+        if self._cc_active:
+            self._cc.on_packet_sent(packet_number, len(buffer))
+            self._cc_sizes[packet_number] = len(buffer)
         self._send(buffer if acquire is not None else bytes(buffer), self.peer_address)
         self._restart_idle_timer()
         return stream_id
@@ -496,7 +599,26 @@ class QuicConnection:
         if not self._can_send_app_data():
             self._queued_app_frames.extend(frames)
             return
+        if self._cc_active and reliable:
+            if self._cwnd_blocked or not self._cc.can_send(_frames_wire_estimate(frames)):
+                self._cwnd_blocked.append(tuple(frames))
+                return
         self._send_packet(self._app_packet_type(), frames, reliable=reliable)
+
+    def _flush_cwnd_blocked(self) -> None:
+        """Send window-blocked packets, oldest first, while the window allows.
+
+        Called when ACKs shrink bytes-in-flight and when a loss event clears
+        the in-flight ledger; stops at the first packet that still does not
+        fit so FIFO order is never violated.
+        """
+        blocked = self._cwnd_blocked
+        while blocked and not self.closed:
+            frames = blocked[0]
+            if not self._cc.can_send(_frames_wire_estimate(frames)):
+                return
+            del blocked[0]
+            self._send_packet(self._app_packet_type(), list(frames))
 
     def _flush_queued_app_frames(self) -> None:
         if not self._queued_app_frames or not self._can_send_app_data():
@@ -530,6 +652,9 @@ class QuicConnection:
             payload = packet.encode()
         self.statistics.packets_sent += 1
         self.statistics.bytes_sent += len(payload)
+        if self._cc_active and packet.is_ack_eliciting:
+            self._cc.on_packet_sent(packet.packet_number, len(payload))
+            self._cc_sizes[packet.packet_number] = len(payload)
         self._send(payload, self.peer_address)
         self._restart_idle_timer()
 
@@ -597,8 +722,11 @@ class QuicConnection:
                 int(TransportErrorCode.INTERNAL_ERROR), "peer unreachable", send_close=False
             )
             return
+        suspect_after = self.config.liveness_suspect_after
+        if suspect_after is None:
+            suspect_after = self.LIVENESS_SUSPECT_AFTER
         if (
-            self._consecutive_loss_timeouts >= self.LIVENESS_SUSPECT_AFTER
+            self._consecutive_loss_timeouts >= suspect_after
             and self.liveness == LIVENESS_HEALTHY
         ):
             # The observer may react by abandoning this connection (a relay
@@ -607,11 +735,29 @@ class QuicConnection:
             if self.closed:
                 return
         self.statistics.retransmissions += len(self._unacked)
+        if self._cc_active:
+            # One loss event per PTO fire: every in-flight packet is declared
+            # lost before the retransmissions below re-enter the ledger.
+            sizes = self._cc_sizes
+            lost_pairs = [
+                (packet_number, sizes.pop(packet_number))
+                for packet_number in sorted(self._unacked)
+                if packet_number in sizes
+            ]
+            if lost_pairs:
+                self._cc.on_packets_lost(lost_pairs)
         for packet_number in sorted(self._unacked):
             packet = self._unacked.pop(packet_number)
             self._sent_times.pop(packet_number, None)
             # Re-send the same frames in a new packet (new packet number).
+            # Retransmissions bypass the congestion-window gate — a probe
+            # must be able to leave even with the window full (RFC 9002
+            # §7.5) — but do re-enter bytes-in-flight via _transmit.
             self._send_packet(packet.packet_type, list(packet.frames))
+        if self._cc_active and self._cwnd_blocked and not self.closed:
+            # The loss event cleared the in-flight ledger; the (halved)
+            # window may have room for packets it previously blocked.
+            self._flush_cwnd_blocked()
         # Exponential backoff: the n-th consecutive timeout waits 2**n probe
         # intervals (capped), so an unreachable peer is probed ever more
         # sparsely while give-up stays bounded in time.
@@ -632,15 +778,65 @@ class QuicConnection:
         self.statistics.packets_received += 1
         self.statistics.bytes_received += wire_size
         self._restart_idle_timer()
+        # Every packet (ACK-only ones included — they occupy the same number
+        # space) lands in the received-set, so a gap in it means a real drop.
+        self._record_received(packet.packet_number)
         ack_needed = packet.is_ack_eliciting
         for frame in packet.frames:
             self._process_frame(packet, frame)
         if self.closed:
             return
         if ack_needed:
-            self._send_ack(packet.packet_number)
+            self._send_ack()
 
-    def _send_ack(self, packet_number: int) -> None:
+    #: Once the received-set spans more packet numbers than this below its
+    #: top, the oldest gap is forgiven (its runs are merged).  A gap that old
+    #: cannot cancel a repair: the sender abandons a packet number at its
+    #: first PTO and re-sends the frames under a fresh number, so nothing
+    #: anywhere near this old is still awaiting acknowledgement.  Pruning
+    #: bounds both the received-set memory and the ACK_RANGES wire size on
+    #: long-lived lossy connections.
+    RECEIVED_RANGES_HORIZON = 4096
+
+    def _record_received(self, packet_number: int) -> None:
+        """Merge ``packet_number`` into the received-set runs."""
+        ranges = self._received_ranges
+        if not ranges:
+            ranges.append([packet_number, packet_number])
+            return
+        last = ranges[-1]
+        if packet_number == last[1] + 1:  # in-order fast path
+            last[1] = packet_number
+            return
+        if packet_number > last[1]:  # jumped past a freshly dropped packet
+            ranges.append([packet_number, packet_number])
+            if packet_number - ranges[0][1] > self.RECEIVED_RANGES_HORIZON:
+                while len(ranges) > 1 and ranges[-1][1] - ranges[0][1] > self.RECEIVED_RANGES_HORIZON:
+                    ranges[1][0] = ranges[0][0]
+                    del ranges[0]
+            return
+        # A duplicate, or a retransmission landing below the top run.  Rare
+        # (requires prior loss), so a linear walk over the few runs is fine.
+        for index, (start, end) in enumerate(ranges):
+            if packet_number < start - 1:
+                ranges.insert(index, [packet_number, packet_number])
+                return
+            if packet_number <= end + 1:
+                if start <= packet_number <= end:
+                    return  # duplicate
+                if packet_number == start - 1:
+                    ranges[index][0] = packet_number
+                    if index > 0 and ranges[index - 1][1] + 1 == packet_number:
+                        ranges[index][0] = ranges[index - 1][0]
+                        del ranges[index - 1]
+                else:  # packet_number == end + 1
+                    ranges[index][1] = packet_number
+                    if index + 1 < len(ranges) and ranges[index + 1][0] == packet_number + 1:
+                        ranges[index][1] = ranges[index + 1][1]
+                        del ranges[index + 1]
+                return
+
+    def _send_ack(self) -> None:
         # Hand-assembled wire bytes (identical to encoding a one-AckFrame
         # Packet): an ACK rides every ack-eliciting packet, so this path runs
         # once per received data packet and skips the Packet/Frame objects.
@@ -654,11 +850,31 @@ class QuicConnection:
         append_varint(buffer, self.connection_id)
         append_varint(buffer, self._next_packet_number)
         self._next_packet_number += 1
-        # ACK frame: type (1 byte) + largest + delay varint 0 (1 byte).
-        append_varint(buffer, 2 + varint_size(packet_number))
-        buffer.append(0x02)  # FrameType.ACK
-        append_varint(buffer, packet_number)
-        buffer.append(0)  # ack delay
+        ranges = self._received_ranges
+        if len(ranges) == 1 and ranges[0][0] == 0:
+            # Gap-free from packet 0 (always the case on loss-free links, and
+            # then ``ranges[0][1]`` is the packet just received): cumulative
+            # ACK, byte-identical to what this path always produced.
+            largest = ranges[0][1]
+            # ACK frame: type (1 byte) + largest + delay varint 0 (1 byte).
+            append_varint(buffer, 2 + varint_size(largest))
+            buffer.append(0x02)  # FrameType.ACK
+            append_varint(buffer, largest)
+            buffer.append(0)  # ack delay
+        else:
+            # The received-set has a gap: acknowledge exactly what arrived.
+            # Acking the dropped number cumulatively would cancel its
+            # retransmission — one double drop would become a permanent
+            # delivery hole (the bug this branch exists to close).
+            frame = AckRangesFrame(
+                largest=ranges[-1][1],
+                delay_us=0,
+                ranges=tuple((start, end) for start, end in ranges),
+            )
+            encoded = bytearray()
+            frame.encode_into(encoded)
+            append_varint(buffer, len(encoded))
+            buffer += encoded
         self.statistics.packets_sent += 1
         self.statistics.bytes_sent += len(buffer)
         self._send(buffer if acquire is not None else bytes(buffer), self.peer_address)
@@ -696,6 +912,8 @@ class QuicConnection:
             stream.receive(frame.offset, frame.data, frame.fin)
         elif isinstance(frame, AckFrame):
             self._process_ack(frame)
+        elif isinstance(frame, AckRangesFrame):
+            self._process_ack_ranges(frame)
         elif isinstance(frame, CryptoFrame):
             if self.is_client:
                 self._process_server_hello(frame)
@@ -714,18 +932,45 @@ class QuicConnection:
         # PADDING and unknown-but-parsed frames are ignored.
 
     def _process_ack(self, frame: AckFrame) -> None:
+        # Cumulative ACK: the peer's received-set is gap-free from packet 0,
+        # so everything at or below ``largest`` really was received.
+        self._apply_ack([pn for pn in self._unacked if pn <= frame.largest], frame.largest)
+
+    def _process_ack_ranges(self, frame: AckRangesFrame) -> None:
+        # Exact ACK: the peer saw a gap; acknowledge only the listed ranges
+        # so the dropped numbers stay unacked and the PTO machinery repairs
+        # them.
+        ranges = frame.ranges
+        acked = [
+            pn
+            for pn in self._unacked
+            if any(start <= pn <= end for start, end in ranges)
+        ]
+        self._apply_ack(acked, frame.largest)
+
+    def _apply_ack(self, acked: "list[int]", largest: int) -> None:
         self._consecutive_loss_timeouts = 0
         if self.liveness == LIVENESS_SUSPECT:
             # The peer answered after all: the suspicion was a false positive.
             self._set_liveness(LIVENESS_HEALTHY, "recovered")
-        self._largest_acked = max(self._largest_acked, frame.largest)
-        acked = [pn for pn in self._unacked if pn <= frame.largest]
+        self._largest_acked = max(self._largest_acked, largest)
         for packet_number in acked:
             sent_at = self._sent_times.pop(packet_number, None)
             if sent_at is not None:
                 sample = self._simulator.now - sent_at
                 self._smoothed_rtt = 0.875 * self._smoothed_rtt + 0.125 * sample
             del self._unacked[packet_number]
+        if self._cc_active and acked:
+            sizes = self._cc_sizes
+            acked_pairs = [
+                (packet_number, sizes.pop(packet_number))
+                for packet_number in acked
+                if packet_number in sizes
+            ]
+            if acked_pairs:
+                self._cc.on_packets_acked(acked_pairs)
+            if self._cwnd_blocked:
+                self._flush_cwnd_blocked()
         if not self._unacked:
             self._loss_timer.stop()
         else:

@@ -33,6 +33,7 @@ class FrameType(enum.IntEnum):
     PADDING = 0x00
     PING = 0x01
     ACK = 0x02
+    ACK_RANGES = 0x03
     CRYPTO = 0x06
     STREAM = 0x08  # with offset, length and fin bits encoded separately
     CONNECTION_CLOSE = 0x1C
@@ -75,7 +76,15 @@ class PingFrame(Frame):
 
 @dataclass(slots=True)
 class AckFrame(Frame):
-    """ACK: acknowledges every packet number up to and including ``largest``."""
+    """ACK: acknowledges every packet number up to and including ``largest``.
+
+    The cumulative form is only emitted while the receiver's received-set is
+    a single gap-free run starting at packet 0, which makes "everything up to
+    ``largest``" exact.  The moment a gap appears (a drop on a lossy link,
+    observed because a *later* packet arrived), the receiver switches to
+    :class:`AckRangesFrame` — acknowledging a dropped packet cumulatively
+    would cancel its retransmission and turn one drop into a permanent hole.
+    """
 
     largest: int
     delay_us: int = 0
@@ -84,6 +93,35 @@ class AckFrame(Frame):
         append_varint(buffer, FrameType.ACK)
         append_varint(buffer, self.largest)
         append_varint(buffer, self.delay_us)
+
+
+@dataclass(slots=True)
+class AckRangesFrame(Frame):
+    """ACK_RANGES: acknowledges exactly the listed packet-number ranges.
+
+    ``ranges`` holds inclusive ``(start, end)`` pairs in ascending order with
+    at least one unreceived packet number between consecutive pairs.  The
+    wire encoding walks the ranges from the top like RFC 9000's ACK frame,
+    as successive deltas (each a small varint): after ``largest`` (= end of
+    the last range) and the delay comes the range count, then per range the
+    distance from the running anchor to the range's end and the range's
+    ``length - 1``; the next anchor is that range's start.
+    """
+
+    largest: int
+    delay_us: int
+    ranges: tuple[tuple[int, int], ...]
+
+    def encode_into(self, buffer: bytearray) -> None:
+        append_varint(buffer, FrameType.ACK_RANGES)
+        append_varint(buffer, self.largest)
+        append_varint(buffer, self.delay_us)
+        append_varint(buffer, len(self.ranges))
+        anchor = self.largest
+        for start, end in reversed(self.ranges):
+            append_varint(buffer, anchor - end)
+            append_varint(buffer, end - start)
+            anchor = start
 
 
 @dataclass(slots=True)
@@ -175,6 +213,7 @@ def decode_frames(payload: bytes) -> list[Frame]:
 #: lookups per field.
 _STREAM = int(FrameType.STREAM)
 _ACK = int(FrameType.ACK)
+_ACK_RANGES = int(FrameType.ACK_RANGES)
 _PADDING = int(FrameType.PADDING)
 _PING = int(FrameType.PING)
 _CRYPTO = int(FrameType.CRYPTO)
@@ -238,6 +277,24 @@ def decode_frames_range(
                 largest = read_varint()
                 delay = read_varint()
                 frames.append(AckFrame(largest=largest, delay_us=delay))
+            elif frame_type == _ACK_RANGES:
+                largest = read_varint()
+                delay = read_varint()
+                count = read_varint()
+                anchor = largest
+                descending = []
+                for _ in range(count):
+                    range_end = anchor - read_varint()
+                    range_start = range_end - read_varint()
+                    descending.append((range_start, range_end))
+                    anchor = range_start
+                frames.append(
+                    AckRangesFrame(
+                        largest=largest,
+                        delay_us=delay,
+                        ranges=tuple(reversed(descending)),
+                    )
+                )
             elif frame_type == _PADDING:
                 # A run of padding: swallow consecutive zero bytes.
                 length = 1

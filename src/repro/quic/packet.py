@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.quic.frames import (
     AckFrame,
+    AckRangesFrame,
     Frame,
     PaddingFrame,
     decode_frames_range,
@@ -133,7 +134,7 @@ class Packet:
     def is_ack_eliciting(self) -> bool:
         """Whether the peer must acknowledge this packet."""
         for frame in self.frames:
-            if not isinstance(frame, (AckFrame, PaddingFrame)):
+            if not isinstance(frame, (AckFrame, AckRangesFrame, PaddingFrame)):
                 return True
         return False
 

@@ -173,9 +173,11 @@ class RelayTreeBuilder:
     failover_policy:
         How orphans pick a new parent when a relay dies
         (:class:`~repro.relaynet.topology.SiblingFailover` by default).
-    uplink_connection / subscriber_connection:
+    uplink_connection / subscriber_connection / downstream_connection:
         QUIC configurations forwarded to the topology (in-band liveness
-        detection enables keepalives / short idle timeouts here).
+        detection enables keepalives / short idle timeouts on the first
+        two; a congestion controller for the fan-out sender side is
+        installed via the third).
     origin_cluster:
         The replicated origin the tree hangs off, when one exists
         (:class:`~repro.relaynet.origincluster.OriginCluster`); forwarded
@@ -196,6 +198,7 @@ class RelayTreeBuilder:
         failover_policy: FailoverPolicy | None = None,
         uplink_connection: ConnectionConfig | None = None,
         subscriber_connection: ConnectionConfig | None = None,
+        downstream_connection: ConnectionConfig | None = None,
         origin_cluster: "OriginCluster | None" = None,
         aggregate_leaves: bool = False,
     ) -> None:
@@ -206,6 +209,7 @@ class RelayTreeBuilder:
         self.failover_policy = failover_policy
         self.uplink_connection = uplink_connection
         self.subscriber_connection = subscriber_connection
+        self.downstream_connection = downstream_connection
         self.origin_cluster = origin_cluster
         self.aggregate_leaves = aggregate_leaves
         # Fail fast if the origin host is missing rather than at first subscribe.
@@ -223,6 +227,7 @@ class RelayTreeBuilder:
                 failover_policy=self.failover_policy,
                 uplink_connection=self.uplink_connection,
                 subscriber_connection=self.subscriber_connection,
+                downstream_connection=self.downstream_connection,
                 origin_cluster=self.origin_cluster,
                 aggregate_leaves=self.aggregate_leaves,
             )

@@ -36,6 +36,14 @@ class TierStats:
     upstream_unsubscribes: int
     cache_hits: int
     cache_misses: int
+    #: QUIC retransmissions by the tier's relays towards their downstream
+    #: sessions — the sender-side loss-repair cost of the fan-out hop below
+    #: this tier.  Monotonic, so :meth:`delta` windows apply.
+    downstream_retransmissions: int = 0
+    #: Congestion-window reductions taken by the tier's relays' downstream
+    #: connections (zero unless a real congestion controller is installed
+    #: via ``downstream_connection``).  Monotonic.
+    congestion_events: int = 0
 
     def delta(self, earlier: "TierStats") -> "TierStats":
         """Counter differences ``self - earlier`` for the same tier."""
@@ -60,6 +68,7 @@ class TierStats:
             "subs_up": self.upstream_subscribes,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "retrans": self.downstream_retransmissions,
         }
 
 
@@ -113,6 +122,8 @@ class RelayNetStats:
             upstream_unsubscribes = 0
             cache_hits = 0
             cache_misses = 0
+            downstream_retransmissions = 0
+            congestion_events = 0
             for node in nodes:
                 link = network.link(node.upstream_host, node.host.address)
                 uplink_bytes += link.statistics.bytes_sent
@@ -125,6 +136,10 @@ class RelayNetStats:
                 upstream_unsubscribes += statistics.upstream_unsubscribes
                 cache_hits += statistics.fetches_served_from_cache
                 cache_misses += statistics.fetches_forwarded_upstream
+                for session in node.relay.downstream_sessions():
+                    connection = session.connection
+                    downstream_retransmissions += connection.statistics.retransmissions
+                    congestion_events += connection.congestion.congestion_events
             if tier_index == leaf_tier_index:
                 objects_forwarded += leaf_objects_extra
                 downstream_subscribes += leaf_subscribes_extra
@@ -141,6 +156,8 @@ class RelayNetStats:
                     upstream_unsubscribes=upstream_unsubscribes,
                     cache_hits=cache_hits,
                     cache_misses=cache_misses,
+                    downstream_retransmissions=downstream_retransmissions,
+                    congestion_events=congestion_events,
                 )
             )
         subscriber_link_bytes = 0
@@ -191,6 +208,16 @@ class RelayNetStats:
         return sum(tier.cache_misses for tier in self.tiers)
 
     @property
+    def downstream_retransmissions(self) -> int:
+        """Sender-side QUIC retransmissions across every fan-out hop."""
+        return sum(tier.downstream_retransmissions for tier in self.tiers)
+
+    @property
+    def congestion_events(self) -> int:
+        """Congestion-window reductions across every tier's downstream side."""
+        return sum(tier.congestion_events for tier in self.tiers)
+
+    @property
     def total_link_bytes(self) -> int:
         """Bytes over every tier uplink plus the subscriber access links."""
         return sum(tier.uplink_bytes for tier in self.tiers) + self.subscriber_link_bytes
@@ -213,6 +240,7 @@ class RelayNetStats:
                 "subs_up": 0,
                 "cache_hits": 0,
                 "cache_misses": 0,
+                "retrans": 0,
             }
         )
         return rows

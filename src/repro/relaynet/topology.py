@@ -410,6 +410,12 @@ class RelayTopology:
     subscriber_connection:
         QUIC configuration for subscriber sessions; E13 shortens the idle
         timeout here so orphaned subscribers notice a dead leaf in-band.
+    downstream_connection:
+        QUIC configuration applied to every relay's *accepted* downstream
+        connections — the sender side of each fan-out hop.  E15 installs a
+        NewReno congestion controller here so constrained, lossy access
+        links are driven with a real window; the default (None) keeps the
+        historical wire-identical configuration.
     origin_cluster:
         The replicated origin this tree hangs off, when the origin is a
         :class:`~repro.relaynet.origincluster.OriginCluster` rather than a
@@ -429,6 +435,7 @@ class RelayTopology:
         failover_policy: FailoverPolicy | None = None,
         uplink_connection: ConnectionConfig | None = None,
         subscriber_connection: ConnectionConfig | None = None,
+        downstream_connection: ConnectionConfig | None = None,
         origin_cluster: "OriginCluster | None" = None,
         aggregate_leaves: bool = False,
     ) -> None:
@@ -441,6 +448,7 @@ class RelayTopology:
         self.failover_policy = failover_policy if failover_policy is not None else SiblingFailover()
         self.uplink_connection = uplink_connection
         self.subscriber_connection = subscriber_connection
+        self.downstream_connection = downstream_connection
         #: When True, :meth:`attach_subscribers` collapses each leaf's
         #: homogeneous population into one counted representative
         #: (:mod:`repro.relaynet.aggregate`); span-sampled indices and
@@ -509,6 +517,7 @@ class RelayTopology:
             session_config=self.session_config,
             tier=tier_spec.name,
             upstream_connection=self.uplink_connection,
+            downstream_connection=self.downstream_connection,
         )
         relay.on_uplink_dying = self._on_relay_uplink_dying
         index = self._tier_created[tier_index]

@@ -51,6 +51,10 @@ def collect_network(metrics: MetricsRegistry, network) -> None:
         return
     for name, value in network.total_link_statistics().items():
         metrics.gauge(f"net_{name}", "Aggregate over every link direction").set(value)
+    metrics.gauge(
+        "net_link_batch_fallback_waves",
+        "Fan-out waves degraded to per-datagram transmission (should be 0)",
+    ).set(getattr(network, "link_batch_fallback_waves", 0))
     collect_datagram_pool(metrics, network.datagram_pool)
     collect_simulator(metrics, network.simulator)
     trace = network.trace
@@ -73,11 +77,29 @@ _QUIC_STAT_FIELDS = (
     "liveness_transitions",
 )
 
+#: Congestion-controller state, exported alongside the statistics counters.
+#: ``cwnd_bytes`` / ``bytes_in_flight`` are instantaneous gauges summed over
+#: the role's connections; ``congestion_events`` is monotonic.  All three are
+#: zero under the default Null controller, so the families exist (and stay
+#: dense-vs-aggregate identical) whether or not real congestion control is
+#: installed.
+_QUIC_CC_FIELDS = (
+    "cwnd_bytes",
+    "bytes_in_flight",
+    "congestion_events",
+)
+
+_QUIC_EXPORT_FIELDS = _QUIC_STAT_FIELDS + _QUIC_CC_FIELDS
+
 
 def _scrape_quic(totals: dict[str, int], connection, scale: int = 1) -> None:
     statistics = connection.statistics
     for field in _QUIC_STAT_FIELDS:
         totals[field] += getattr(statistics, field) * scale
+    congestion = connection.congestion
+    totals["cwnd_bytes"] += congestion.congestion_window * scale
+    totals["bytes_in_flight"] += congestion.bytes_in_flight * scale
+    totals["congestion_events"] += congestion.congestion_events * scale
 
 
 def collect_relay_tree(metrics: MetricsRegistry, tree) -> None:
@@ -130,9 +152,9 @@ def collect_relay_tree(metrics: MetricsRegistry, tree) -> None:
         )
     }
     quic_totals: dict[str, dict[str, int]] = {
-        "relay-uplink": {field: 0 for field in _QUIC_STAT_FIELDS},
-        "relay-downstream": {field: 0 for field in _QUIC_STAT_FIELDS},
-        "subscriber": {field: 0 for field in _QUIC_STAT_FIELDS},
+        "relay-uplink": {field: 0 for field in _QUIC_EXPORT_FIELDS},
+        "relay-downstream": {field: 0 for field in _QUIC_EXPORT_FIELDS},
+        "subscriber": {field: 0 for field in _QUIC_EXPORT_FIELDS},
     }
     recovery_fetches = 0
     recovered_objects = 0
@@ -242,7 +264,7 @@ def collect_relay_tree(metrics: MetricsRegistry, tree) -> None:
         field: metrics.gauge(
             f"quic_{field}", "QUIC connection totals by role", labels=("role",)
         )
-        for field in _QUIC_STAT_FIELDS
+        for field in _QUIC_EXPORT_FIELDS
     }
     for role, totals in quic_totals.items():
         for field, value in totals.items():
@@ -277,7 +299,7 @@ def collect_origin_cluster(metrics: MetricsRegistry, cluster) -> None:
         "origin_replayed_objects",
         "Outage-window objects seeded from the replay ring at promotion",
     ).set(replayed)
-    totals = {field: 0 for field in _QUIC_STAT_FIELDS}
+    totals = {field: 0 for field in _QUIC_EXPORT_FIELDS}
     for origin in cluster.origins:
         for session in origin.publisher.sessions:
             _scrape_quic(totals, session.connection)
@@ -287,7 +309,7 @@ def collect_origin_cluster(metrics: MetricsRegistry, cluster) -> None:
         field: metrics.gauge(
             f"quic_{field}", "QUIC connection totals by role", labels=("role",)
         )
-        for field in _QUIC_STAT_FIELDS
+        for field in _QUIC_EXPORT_FIELDS
     }
     for field, value in totals.items():
         quic_gauge[field].labels("origin").set(value)

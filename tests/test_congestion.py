@@ -1,0 +1,248 @@
+"""Tests for pluggable congestion control (`repro.quic.congestion`).
+
+Unit coverage of the NewReno state machine (slow-start doubling, congestion
+avoidance, loss backoff, the single-reduction-per-recovery-epoch rule and
+the minimum-window floor), the Null controller's inertness, and integration
+through :class:`repro.quic.connection.QuicConnection`: a small window must
+visibly hold back sends and drain as ACKs open it, while the default Null
+controller leaves the connection's behaviour untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.link import LinkConfig
+from repro.netsim.network import Network
+from repro.netsim.packet import Address
+from repro.netsim.simulator import Simulator
+from repro.quic.congestion import (
+    DEFAULT_MSS,
+    INITIAL_WINDOW_PACKETS,
+    MINIMUM_WINDOW_PACKETS,
+    NULL_CONGESTION,
+    NewRenoCongestionController,
+    NullCongestionController,
+)
+from repro.quic.connection import ConnectionConfig
+from repro.quic.endpoint import QuicEndpoint
+from repro.quic.tls import ServerTlsContext
+
+MSS = DEFAULT_MSS
+
+
+class TestNewRenoWindow:
+    def test_initial_window_and_slow_start_doubling(self) -> None:
+        cc = NewRenoCongestionController()
+        assert cc.congestion_window == MSS * INITIAL_WINDOW_PACKETS
+        assert cc.in_slow_start
+        # Slow start: every acked byte grows the window by one byte, so a
+        # full window of ACKs doubles it — per RTT, exponential.
+        window = cc.congestion_window
+        for packet_number in range(INITIAL_WINDOW_PACKETS):
+            cc.on_packet_sent(packet_number, MSS)
+        cc.on_packets_acked([(pn, MSS) for pn in range(INITIAL_WINDOW_PACKETS)])
+        assert cc.congestion_window == 2 * window
+        assert cc.bytes_in_flight == 0
+
+    def test_slow_start_growth_is_monotone_in_acked_bytes(self) -> None:
+        cc = NewRenoCongestionController()
+        previous = cc.congestion_window
+        for packet_number in range(50):
+            cc.on_packet_sent(packet_number, MSS)
+            cc.on_packets_acked([(packet_number, MSS)])
+            assert cc.congestion_window > previous
+            previous = cc.congestion_window
+
+    def test_congestion_avoidance_grows_one_mss_per_window(self) -> None:
+        cc = NewRenoCongestionController()
+        # Force CA: take one loss so ssthresh becomes finite, then ack past
+        # the recovery epoch.
+        cc.on_packet_sent(0, MSS)
+        cc.on_packets_lost([(0, MSS)])
+        assert not cc.in_slow_start
+        window = cc.congestion_window
+        # One full window of post-epoch ACKs grows cwnd by ~one MSS (linear).
+        packet_number = 1
+        acked = 0
+        while acked < window:
+            cc.on_packet_sent(packet_number, MSS)
+            cc.on_packets_acked([(packet_number, MSS)])
+            acked += MSS
+            packet_number += 1
+        assert window < cc.congestion_window <= window + 2 * MSS
+
+    def test_loss_halves_window_once_per_recovery_epoch(self) -> None:
+        cc = NewRenoCongestionController()
+        for packet_number in range(10):
+            cc.on_packet_sent(packet_number, MSS)
+        window = cc.congestion_window
+        cc.on_packets_lost([(3, MSS)])
+        assert cc.congestion_events == 1
+        assert cc.congestion_window == int(window * 0.5)
+        # Further losses of packets sent *before* the epoch opened are not
+        # fresh congestion signals.
+        reduced = cc.congestion_window
+        cc.on_packets_lost([(5, MSS), (7, MSS)])
+        assert cc.congestion_events == 1
+        assert cc.congestion_window == reduced
+        # A loss of a packet sent after the epoch opened starts a new one.
+        cc.on_packet_sent(10, MSS)
+        cc.on_packets_lost([(10, MSS)])
+        assert cc.congestion_events == 2
+        assert cc.congestion_window == int(reduced * 0.5)
+
+    def test_window_never_collapses_below_minimum(self) -> None:
+        cc = NewRenoCongestionController()
+        floor = MSS * MINIMUM_WINDOW_PACKETS
+        for packet_number in range(40):
+            cc.on_packet_sent(packet_number, MSS)
+            cc.on_packets_lost([(packet_number, MSS)])
+        assert cc.congestion_window == floor
+        assert cc.ssthresh == floor
+
+    def test_can_send_respects_bytes_in_flight(self) -> None:
+        cc = NewRenoCongestionController()
+        window = cc.congestion_window
+        assert cc.can_send(window)
+        cc.on_packet_sent(0, window - 100)
+        assert cc.can_send(100)
+        assert not cc.can_send(101)
+        cc.on_packets_acked([(0, window - 100)])
+        assert cc.can_send(window)
+
+    def test_discard_releases_flight_without_congestion_signal(self) -> None:
+        cc = NewRenoCongestionController()
+        cc.on_packet_sent(0, 500)
+        window = cc.congestion_window
+        cc.on_packets_discarded([(0, 500)])
+        assert cc.bytes_in_flight == 0
+        assert cc.congestion_window == window
+        assert cc.congestion_events == 0
+
+    def test_acks_inside_recovery_epoch_do_not_grow_the_window(self) -> None:
+        cc = NewRenoCongestionController()
+        for packet_number in range(8):
+            cc.on_packet_sent(packet_number, MSS)
+        cc.on_packets_lost([(0, MSS)])
+        reduced = cc.congestion_window
+        cc.on_packets_acked([(pn, MSS) for pn in range(1, 8)])
+        assert cc.congestion_window == reduced
+
+    def test_constructor_validation(self) -> None:
+        with pytest.raises(ValueError, match="mss"):
+            NewRenoCongestionController(mss=0)
+        with pytest.raises(ValueError, match="minimum window"):
+            NewRenoCongestionController(
+                initial_window_packets=1, minimum_window_packets=2
+            )
+
+
+class TestNullController:
+    def test_null_controller_is_inert_and_shared(self) -> None:
+        assert NullCongestionController.active is False
+        assert NULL_CONGESTION.can_send(10**9)
+        NULL_CONGESTION.on_packet_sent(0, 1200)
+        NULL_CONGESTION.on_packets_lost([(0, 1200)])
+        assert NULL_CONGESTION.congestion_window == 0
+        assert NULL_CONGESTION.bytes_in_flight == 0
+        assert NULL_CONGESTION.congestion_events == 0
+
+
+SERVER = "server"
+CLIENT = "client"
+RTT = 0.1
+
+
+def _connected_pair(congestion_controller=None):
+    simulator = Simulator(seed=5)
+    network = Network(simulator)
+    network.add_host(SERVER)
+    network.add_host(CLIENT)
+    network.connect(SERVER, CLIENT, LinkConfig(delay=RTT / 2))
+    QuicEndpoint(
+        network.host(SERVER),
+        port=4443,
+        server_tls=ServerTlsContext(alpn_protocols=("moq-00",)),
+        on_connection=lambda connection: None,
+    )
+    client_endpoint = QuicEndpoint(network.host(CLIENT))
+    config = ConnectionConfig(
+        alpn_protocols=("moq-00",), congestion_controller=congestion_controller
+    )
+    connection = client_endpoint.connect(Address(SERVER, 4443), config)
+    simulator.run(until=1.0)
+    assert connection.handshake_complete
+    return simulator, connection
+
+
+class TestConnectionIntegration:
+    def test_default_connection_installs_the_null_singleton(self) -> None:
+        _, connection = _connected_pair()
+        assert connection.congestion is NULL_CONGESTION
+        assert connection.cwnd_blocked_packets == 0
+
+    def test_small_window_blocks_then_acks_drain_the_backlog(self) -> None:
+        simulator, connection = _connected_pair(
+            lambda: NewRenoCongestionController(
+                initial_window_packets=2, minimum_window_packets=2
+            )
+        )
+        stream = connection.open_stream()
+        # Far more than two packets' worth of data: the window must hold
+        # some packets back immediately after the burst.
+        for chunk in range(12):
+            connection.send_stream_data(stream, bytes(600), fin=False)
+        assert connection.cwnd_blocked_packets > 0
+        assert connection.congestion.bytes_in_flight > 0
+        # ACKs open the window; the backlog must drain completely.
+        simulator.run(until=simulator.now + 20 * RTT)
+        assert connection.cwnd_blocked_packets == 0
+        assert connection.congestion.bytes_in_flight == 0
+        assert connection.congestion.congestion_events == 0
+
+    def test_newreno_connection_reaches_the_same_payload(self) -> None:
+        """Same delivered stream bytes with and without a tight window —
+        congestion control delays, never drops."""
+
+        def run(controller):
+            simulator = Simulator(seed=5)
+            network = Network(simulator)
+            network.add_host(SERVER)
+            network.add_host(CLIENT)
+            network.connect(SERVER, CLIENT, LinkConfig(delay=RTT / 2))
+            received: list[bytes] = []
+
+            def handler(connection):
+                connection.on_stream_data = (
+                    lambda stream_id, data, fin: received.append(bytes(data))
+                )
+
+            QuicEndpoint(
+                network.host(SERVER),
+                port=4443,
+                server_tls=ServerTlsContext(alpn_protocols=("moq-00",)),
+                on_connection=handler,
+            )
+            client_endpoint = QuicEndpoint(network.host(CLIENT))
+            connection = client_endpoint.connect(
+                Address(SERVER, 4443),
+                ConnectionConfig(
+                    alpn_protocols=("moq-00",), congestion_controller=controller
+                ),
+            )
+            simulator.run(until=1.0)
+            stream = connection.open_stream()
+            for chunk in range(20):
+                connection.send_stream_data(stream, bytes([chunk]) * 400, fin=False)
+            simulator.run(until=simulator.now + 30 * RTT)
+            return b"".join(received)
+
+        tight = run(
+            lambda: NewRenoCongestionController(
+                initial_window_packets=2, minimum_window_packets=2
+            )
+        )
+        unlimited = run(None)
+        assert tight == unlimited
+        assert len(tight) == 20 * 400

@@ -343,10 +343,11 @@ class TestAckWireIdentity:
             is_client=True,
             config=ConnectionConfig(),
         )
+        connection._received_ranges = [[0, 77]]
         for handshake_complete in (False, True):
             connection.handshake_complete = handshake_complete
             expected_pn = connection._next_packet_number
-            connection._send_ack(77)
+            connection._send_ack()
             reference = Packet(
                 packet_type=PacketType.ONE_RTT if handshake_complete else PacketType.INITIAL,
                 connection_id=connection.connection_id,
@@ -354,6 +355,39 @@ class TestAckWireIdentity:
                 frames=(AckFrame(largest=77),),
             ).encode()
             assert sent[-1] == reference
+
+    def test_gapped_receive_set_emits_exact_ranges(self):
+        from repro.netsim.packet import Address
+        from repro.quic.connection import ConnectionConfig, QuicConnection
+        from repro.quic.frames import AckRangesFrame
+        from repro.quic.packet import Packet, PacketType
+
+        sent: list[bytes] = []
+        simulator = Simulator()
+        connection = QuicConnection(
+            simulator=simulator,
+            send_datagram=lambda payload, destination: sent.append(payload),
+            local_address=Address("client", 1),
+            peer_address=Address("server", 2),
+            connection_id=9,
+            is_client=True,
+            config=ConnectionConfig(),
+        )
+        connection.handshake_complete = True
+        connection._received_ranges = [[0, 4], [6, 9], [12, 12]]
+        expected_pn = connection._next_packet_number
+        connection._send_ack()
+        reference = Packet(
+            packet_type=PacketType.ONE_RTT,
+            connection_id=9,
+            packet_number=expected_pn,
+            frames=(AckRangesFrame(largest=12, delay_us=0, ranges=((0, 4), (6, 9), (12, 12))),),
+        ).encode()
+        assert sent[-1] == reference
+        decoded = Packet.decode(sent[-1])
+        (frame,) = decoded.frames
+        assert isinstance(frame, AckRangesFrame)
+        assert frame.ranges == ((0, 4), (6, 9), (12, 12))
 
 
 class TestEncodeOnceFanout:

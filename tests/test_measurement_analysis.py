@@ -212,3 +212,68 @@ class TestStateOverheadModel:
         comparison = state_comparison(tracked_questions=1000, upstream_servers=10)
         assert comparison["moqt_bytes"] > comparison["classic_bytes"]
         assert comparison["extra_bytes"] == comparison["moqt_bytes"] - comparison["classic_bytes"]
+
+
+class TestConstrainedPathModel:
+    """Closed-form serialisation/propagation model behind E15."""
+
+    def _model(self, bandwidth, wire_bytes=328):
+        from repro.analysis.constrained import ConstrainedPathModel, HopSpec
+
+        return ConstrainedPathModel(
+            hops=(
+                HopSpec(delay=0.020, bandwidth=bandwidth),
+                HopSpec(delay=0.010, bandwidth=bandwidth),
+                HopSpec(delay=0.005, bandwidth=bandwidth),
+            ),
+            wire_bytes=wire_bytes,
+        )
+
+    def test_delivery_time_replays_the_simulator_fold(self):
+        model = self._model(200_000.0)
+        push_time = 7.25
+        expected = push_time
+        for delay in (0.020, 0.010, 0.005):
+            expected = expected + 328 * 8 / 200_000.0
+            expected = expected + delay
+        assert model.delivery_time(push_time) == expected
+        assert model.delivery_latency() == model.delivery_time(0.0)
+
+    def test_unconstrained_hops_add_no_serialisation(self):
+        model = self._model(None)
+        assert model.serialisation_seconds == 0.0
+        assert model.delivery_latency() == model.propagation_seconds
+        assert not model.serialisation_dominates
+
+    def test_knee_index_on_a_descending_sweep(self):
+        from repro.analysis.constrained import knee_index
+
+        # 328 B * 8 = 2624 bits per hop; serialisation crosses the 35 ms
+        # propagation floor between 250 kbit/s (31.5 ms) and 200 kbit/s
+        # (39.4 ms).
+        sweep = [self._model(b) for b in (1_000_000.0, 250_000.0, 200_000.0, 50_000.0)]
+        assert [m.serialisation_dominates for m in sweep] == [False, False, True, True]
+        assert knee_index(sweep) == 2
+        assert knee_index([self._model(10_000_000.0)]) == -1
+
+    def test_no_queueing_precondition(self):
+        model = self._model(200_000.0)
+        # One update serialises in 13.12 ms per hop: far below a 250 ms
+        # push interval, just above a 13 ms one.
+        assert model.no_queueing_below(0.25)
+        assert not model.no_queueing_below(0.013)
+        assert self._model(None).no_queueing_below(1e-9)
+
+    def test_validation(self):
+        import pytest
+
+        from repro.analysis.constrained import ConstrainedPathModel, HopSpec
+
+        with pytest.raises(ValueError, match="at least one hop"):
+            ConstrainedPathModel(hops=(), wire_bytes=100)
+        with pytest.raises(ValueError, match="wire_bytes"):
+            ConstrainedPathModel(hops=(HopSpec(delay=0.01),), wire_bytes=0)
+        with pytest.raises(ValueError, match="bandwidth"):
+            HopSpec(delay=0.01, bandwidth=0.0)
+        with pytest.raises(ValueError, match="delay"):
+            HopSpec(delay=-0.01)

@@ -18,6 +18,7 @@ The two headline guarantees:
 from __future__ import annotations
 
 import json
+import warnings
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -104,18 +105,67 @@ class TestTransmitMany:
         simulator.run_until_idle()
         assert len(delivered) == 4
 
+    def test_constrained_links_are_batchable(self):
+        # The old behaviour — bandwidth or loss forcing a silent per-datagram
+        # fallback — is the bug this PR fixes: standard links are always
+        # batchable now, whatever their configuration.
+        simulator = Simulator()
+        delivered: list[tuple[int, Datagram]] = []
+        lossy = self._links(
+            simulator, 1, LinkConfig(delay=0.01, bandwidth=1e6, loss_rate=0.5), delivered
+        )
+        assert lossy[0].batchable
+
     def test_non_batchable_entries_degrade_to_per_datagram_transmit(self):
         simulator = Simulator()
         delivered: list[tuple[int, Datagram]] = []
-        lossy = self._links(simulator, 3, LinkConfig(delay=0.01, loss_rate=0.5), delivered)
-        assert not lossy[0].batchable
-        entries = [(link, Datagram(SRC, DST, b"x")) for link in lossy]
+        links = self._links(simulator, 3, LinkConfig(delay=0.01), delivered)
+        links[1].batchable = False  # explicit opt-out (subclass/test hook)
+        entries = [(link, Datagram(SRC, DST, b"x")) for link in links]
         before = simulator.events_scheduled
-        Link.transmit_many(simulator, entries)
-        # per-datagram transmit: at most one event per surviving datagram,
-        # and the RNG was consulted per entry exactly as plain transmit does
-        assert simulator.events_scheduled - before <= 3
-        assert sum(link.statistics.datagrams_sent for link in lossy) == 3
+
+        class Sink:
+            link_batch_fallback_waves = 0
+
+            def begin_batch(self):
+                pass
+
+            def end_batch(self):
+                pass
+
+        sink = Sink()
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            Link.transmit_many(simulator, entries, sink)
+        # per-datagram transmit: one event per datagram instead of one wave,
+        # and the degradation is observable on the sink counter
+        assert simulator.events_scheduled - before == 3
+        assert sum(link.statistics.datagrams_sent for link in links) == 3
+        assert sink.link_batch_fallback_waves == 1
+
+    def test_fallback_warns_once_per_process(self):
+        import repro.netsim.link as link_module
+
+        simulator = Simulator()
+        delivered: list[tuple[int, Datagram]] = []
+        links = self._links(simulator, 2, LinkConfig(delay=0.01), delivered)
+        links[0].batchable = False
+        original = link_module._fallback_warning_issued
+        link_module._fallback_warning_issued = False
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                entries = [(link, Datagram(SRC, DST, b"x")) for link in links]
+                Link.transmit_many(simulator, entries, None)
+                entries = [(link, Datagram(SRC, DST, b"y")) for link in links]
+                Link.transmit_many(simulator, entries, None)
+            fallback_warnings = [
+                w for w in caught if issubclass(w.category, RuntimeWarning)
+            ]
+            assert len(fallback_warnings) == 1
+            assert "per-datagram" in str(fallback_warnings[0].message)
+        finally:
+            link_module._fallback_warning_issued = original
 
     def test_matches_sequential_transmit_behaviour(self):
         results = []

@@ -406,3 +406,89 @@ class TestConnectionIdAllocation:
             connection_id = endpoint._allocate_connection_id()
             assert connection_id not in seen
             seen.add(connection_id)
+
+
+class TestAckRangesRepair:
+    """The gap-aware received-set and exact-ACK repair path.
+
+    Cumulative ACKs are only sound while the receiver's set is gap-free
+    from packet 0; once a drop is observed (a later packet arrived), an
+    ``AckFrame(largest)`` would falsely acknowledge the dropped number and
+    cancel its retransmission — a double drop then becomes a permanent
+    delivery hole.  These tests pin the run-merging of ``_record_received``
+    and the exact-ACK processing that closes that hole.
+    """
+
+    def _connection(self):
+        simulator, _server_ep, client_ep, config, _ = _build()
+        connection = client_ep.connect(Address(SERVER, 4443), config)
+        simulator.run(until=5.0)
+        assert connection.handshake_complete
+        return simulator, connection
+
+    def test_in_order_receive_stays_one_run(self):
+        _, connection = self._connection()
+        connection._received_ranges = []
+        for packet_number in range(5):
+            connection._record_received(packet_number)
+        assert connection._received_ranges == [[0, 4]]
+
+    def test_gap_opens_a_second_run_and_fill_merges_it(self):
+        _, connection = self._connection()
+        connection._received_ranges = []
+        for packet_number in (0, 1, 3):
+            connection._record_received(packet_number)
+        assert connection._received_ranges == [[0, 1], [3, 3]]
+        connection._record_received(2)  # the retransmission lands
+        assert connection._received_ranges == [[0, 3]]
+        connection._record_received(2)  # duplicate: no change
+        assert connection._received_ranges == [[0, 3]]
+
+    def test_retransmission_below_the_top_run_merges_both_sides(self):
+        _, connection = self._connection()
+        connection._received_ranges = []
+        for packet_number in (0, 1, 2, 3, 10):
+            connection._record_received(packet_number)
+        connection._record_received(5)
+        assert connection._received_ranges == [[0, 3], [5, 5], [10, 10]]
+        connection._record_received(4)
+        assert connection._received_ranges == [[0, 5], [10, 10]]
+
+    def test_horizon_prune_merges_the_oldest_runs(self):
+        _, connection = self._connection()
+        connection._received_ranges = []
+        connection._record_received(0)
+        far = connection.RECEIVED_RANGES_HORIZON + 1000
+        connection._record_received(far)
+        # The stale bottom run is folded in: the sender re-numbers on PTO,
+        # so packet numbers that far behind can no longer be retransmitted.
+        assert connection._received_ranges == [[0, far]]
+
+    def test_exact_ack_leaves_the_dropped_packet_unacked(self):
+        from repro.quic.frames import AckRangesFrame
+
+        _, connection = self._connection()
+        connection._unacked = {0: object(), 1: object(), 2: object(), 3: object()}
+        connection._sent_times = {}
+        connection._process_ack_ranges(
+            AckRangesFrame(largest=3, delay_us=0, ranges=((0, 1), (3, 3)))
+        )
+        # Packet 2 was never received by the peer: it must stay unacked so
+        # the loss timer retransmits it.
+        assert set(connection._unacked) == {2}
+
+    def test_exact_vs_cumulative_ack_on_a_gapped_set(self):
+        from repro.quic.frames import AckFrame, AckRangesFrame
+
+        _, connection = self._connection()
+        connection._unacked = {2: object(), 4: object()}
+        connection._sent_times = {}
+        connection._process_ack_ranges(
+            AckRangesFrame(largest=4, delay_us=0, ranges=((0, 1), (4, 4)))
+        )
+        assert set(connection._unacked) == {2}
+        # The cumulative form would have acked 2 as well — the exact bug.
+        connection._unacked = {2: object(), 4: object()}
+        connection._sent_times = {}
+        connection._process_ack(AckFrame(largest=4))
+        assert set(connection._unacked) == set()
