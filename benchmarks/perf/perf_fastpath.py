@@ -55,7 +55,16 @@ Micro and macro layers cover the simulation fast path end to end:
   access loss and NewReno on every relay's downstream side.  Runs in
   ``--smoke`` (the regime the old silent per-datagram fallback made
   unrunnable must stay inside the CI smoke budget) and gates on full loss
-  repair with zero fallback waves.
+  repair with zero fallback waves;
+* ``flash_crowd`` — the E16 subscribe-storm macro-benchmark: an
+  unlimited baseline whose pending-subscribe high-water mark grows with
+  storm size (the unbounded-queue pathology), a token-bucket-throttled
+  storm that must admit 100 % of stormers with the measured completion
+  time and join-latency distribution matching the closed-form model in
+  ``repro.analysis.admission`` bit-exactly (and rejections actually
+  observed), and a hotspot storm pinned to one edge relay that must
+  spread across sibling leaves via spillover.  All gates are
+  machine-independent.
 
 Results are written to ``BENCH_fastpath.json`` (schema documented in
 ``benchmarks/perf/README.md``) so the performance trajectory of the repo is
@@ -93,6 +102,7 @@ from repro.experiments.constrained_tiers import (
     run_constrained_tiers,
 )
 from repro.experiments.failure_detection import run_failure_detection
+from repro.experiments.flash_crowd import run_flash_crowd
 from repro.experiments.origin_failover import run_origin_failover
 from repro.experiments.relay_churn import run_relay_churn
 from repro.experiments.relay_fanout import run_relay_fanout
@@ -111,7 +121,7 @@ from repro.telemetry.export import (
     write_prometheus,
 )
 
-SCHEMA = "bench-fastpath/v8"
+SCHEMA = "bench-fastpath/v9"
 
 #: Relative throughput loss beyond which ``--check`` fails the run.  Wide
 #: enough to absorb runner-class jitter (documented in the README); narrow
@@ -176,6 +186,7 @@ BENCHMARK_KEYS = (
     "failure_detection",
     "origin_failover",
     "constrained_tiers_e15",
+    "flash_crowd",
     "cdn_macro_10k",
     "cdn_macro_100k",
     "cdn_macro_1m",
@@ -725,6 +736,52 @@ def bench_constrained_tiers_e15(
     }
 
 
+def bench_flash_crowd(
+    stormers: int = 100, telemetry: Telemetry | None = None
+) -> dict[str, object]:
+    """E16 macro-benchmark: subscribe storms under admission control.
+
+    Wall-clock covers all three regimes (unbounded baseline storms, the
+    token-bucket-throttled storm, the pinned hotspot storm with
+    spillover).  Every correctness field is machine-independent and gated
+    in :func:`main`: the baseline's pending-subscribe high-water mark must
+    grow with storm size, the throttled storm must admit every stormer
+    with rejections actually observed and its completion time and
+    join-latency distribution matching ``repro.analysis.admission``
+    bit-exactly, and the hotspot storm must admit everyone while moving
+    some stormers to sibling leaves.
+    """
+    with quiesced_gc():
+        start = time.perf_counter()
+        result = run_flash_crowd(
+            stormers=stormers,
+            baseline_stormers=(stormers // 2, stormers * 2),
+            telemetry=telemetry,
+        )
+        elapsed = time.perf_counter() - start
+    summary = result.summary_row()
+    return {
+        "stormers": stormers,
+        "seconds": round(elapsed, 6),
+        "baseline_high_water": [
+            sample.pending_high_water for sample in result.baselines
+        ],
+        "baseline_pathology_ok": summary["baseline_high_water_grows"],
+        "throttled_admitted": result.throttled.admitted,
+        "throttled_rejections": result.throttled.rejections,
+        "throttled_all_admitted_ok": summary["throttled_all_admitted"],
+        "throttled_completion_s": result.throttled.measured_completion,
+        "throttled_model_completion_s": result.throttled.model_completion,
+        "throttled_p99_join_s": result.throttled.measured_p99_join,
+        "admission_model_exact_ok": summary["model_exact"],
+        "bounded_high_water": result.throttled.pending_high_water,
+        "spillover_admitted": result.spillover.admitted,
+        "spillovers": result.spillover.spillovers,
+        "spillover_per_leaf": list(result.spillover.per_leaf),
+        "spillover_all_admitted_ok": summary["spillover_all_admitted"],
+    }
+
+
 def bench_constrained_macro_100k(
     subscribers: int = 100_000, updates: int = 5, telemetry: Telemetry | None = None
 ) -> dict[str, object]:
@@ -826,6 +883,10 @@ def run(
     if selected("constrained_tiers_e15"):
         benchmarks["constrained_tiers_e15"] = bench_constrained_tiers_e15(
             telemetry=telemetry
+        )
+    if selected("flash_crowd"):
+        benchmarks["flash_crowd"] = bench_flash_crowd(
+            stormers=40 if smoke else 100, telemetry=telemetry
         )
     macro_plan = [("cdn_macro_10k", bench_cdn_macro_10k)]
     if not smoke:
@@ -1165,6 +1226,39 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 "FAIL: constrained_tiers_e15: lossy-edge sample did not repair "
                 "with observable congestion control",
+                file=sys.stderr,
+            )
+            return 1
+    crowd = benchmarks.get("flash_crowd")
+    if crowd is not None:
+        if not crowd["baseline_pathology_ok"]:
+            print(
+                "FAIL: flash_crowd: unlimited baseline high-water mark did not "
+                "grow with storm size (the pathology admission control caps)",
+                file=sys.stderr,
+            )
+            return 1
+        if not crowd["throttled_all_admitted_ok"] or not crowd["spillover_all_admitted_ok"]:
+            print("FAIL: flash_crowd: a stormer was never admitted", file=sys.stderr)
+            return 1
+        if crowd["throttled_rejections"] <= 0:
+            print(
+                "FAIL: flash_crowd: the constrained policy rejected nothing "
+                "(the storm never exercised admission control)",
+                file=sys.stderr,
+            )
+            return 1
+        if not crowd["admission_model_exact_ok"]:
+            print(
+                "FAIL: flash_crowd: measured admission schedule diverged from "
+                "the closed-form token-bucket model",
+                file=sys.stderr,
+            )
+            return 1
+        if crowd["spillovers"] <= 0:
+            print(
+                "FAIL: flash_crowd: the pinned hotspot storm never spilled to "
+                "a sibling leaf",
                 file=sys.stderr,
             )
             return 1

@@ -18,6 +18,7 @@ from repro.experiments.fig1a import run_fig1a
 from repro.experiments.origin_failover import run_origin_failover
 from repro.experiments.fig1b import run_fig1b
 from repro.experiments.fig2_sequence import run_fig2
+from repro.experiments.flash_crowd import run_flash_crowd
 from repro.experiments.query_latency import run_query_latency
 from repro.experiments.relay_churn import run_relay_churn
 from repro.experiments.relay_fanout import run_relay_fanout
@@ -162,6 +163,22 @@ def run_all(fast: bool = True) -> list[ExperimentReport]:
     reports.append(
         ExperimentReport("E15", "§3/§5.3 — constrained tiers: the serialisation-vs-propagation knee",
                          constrained_table, constrained)
+    )
+    crowd = run_flash_crowd(
+        stormers=24 if fast else 100,
+        baseline_stormers=(16, 48) if fast else (50, 200),
+    )
+    crowd_table = "\n\n".join(
+        [
+            format_table([sample.as_row() for sample in crowd.baselines]),
+            format_table([crowd.throttled.as_row()]),
+            format_table([crowd.spillover.as_row()]),
+            format_table([crowd.summary_row()]),
+        ]
+    )
+    reports.append(
+        ExperimentReport("E16", "§3 robustness — flash-crowd admission: bounded relays vs unbounded queues",
+                         crowd_table, crowd)
     )
     return reports
 

@@ -32,6 +32,29 @@ class SubscribeErrorCode(enum.IntEnum):
     TRACK_DOES_NOT_EXIST = 0x4
     INVALID_RANGE = 0x5
     RETRY_TRACK_ALIAS = 0x6
+    #: Admission control refused the subscription: the relay's token bucket
+    #: is empty or its pending-subscribe queue is full.  The SUBSCRIBE_ERROR
+    #: carries ``retry_after_ms`` telling the client when to try again.
+    TOO_MANY_SUBSCRIBERS = 0x7
+
+
+class AdmissionRejectedError(MoqtError):
+    """A subscribe was refused by admission control and the retry budget ran out.
+
+    Raised on the *client* side after the configured number of
+    retry-with-backoff attempts all came back ``TOO_MANY_SUBSCRIBERS``;
+    surfacing a terminal error is the graceful-degradation contract — a
+    storm participant that cannot be admitted fails loudly instead of
+    retrying (or hanging) forever.
+    """
+
+    def __init__(self, full_track_name: object, attempts: int) -> None:
+        super().__init__(
+            f"subscription to {full_track_name} rejected after "
+            f"{attempts} admission attempts"
+        )
+        self.full_track_name = full_track_name
+        self.attempts = attempts
 
 
 class FetchErrorCode(enum.IntEnum):

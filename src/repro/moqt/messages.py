@@ -246,12 +246,21 @@ class SubscribeOk(ControlMessage):
 
 @dataclass(frozen=True)
 class SubscribeError(ControlMessage):
-    """SUBSCRIBE_ERROR: the publisher declined the subscription."""
+    """SUBSCRIBE_ERROR: the publisher declined the subscription.
+
+    ``retry_after_ms`` is an admission-control hint: how many milliseconds
+    the subscriber should wait before retrying (0 means no hint).  It is
+    encoded as an optional trailing varint — written only when non-zero, so
+    every message emitted before admission control existed keeps its exact
+    wire bytes, and decoders accept both the four-field and five-field
+    encodings.
+    """
 
     request_id: int = 0
     error_code: int = 0
     reason: str = ""
     track_alias: int = 0
+    retry_after_ms: int = 0
 
     TYPE = MessageType.SUBSCRIBE_ERROR
 
@@ -261,6 +270,8 @@ class SubscribeError(ControlMessage):
         writer.write_varint(self.error_code)
         writer.write_length_prefixed(self.reason.encode("utf-8"))
         writer.write_varint(self.track_alias)
+        if self.retry_after_ms:
+            writer.write_varint(self.retry_after_ms)
         return writer.getvalue()
 
     @classmethod
@@ -269,7 +280,8 @@ class SubscribeError(ControlMessage):
         error_code = reader.read_varint()
         reason = reader.read_length_prefixed().decode("utf-8")
         track_alias = reader.read_varint()
-        return cls(request_id, error_code, reason, track_alias)
+        retry_after_ms = 0 if reader.at_end() else reader.read_varint()
+        return cls(request_id, error_code, reason, track_alias, retry_after_ms)
 
 
 @dataclass(frozen=True)

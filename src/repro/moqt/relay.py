@@ -28,7 +28,10 @@ The relay implemented here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.relaynet.admission import AdmissionController, AdmissionPolicy
 
 from repro.moqt.datastream import (
     encode_object_datagram_body,
@@ -177,6 +180,18 @@ class RelayStatistics:
     #: Uplink failures noticed through the transport's liveness machinery
     #: (PTO suspicion or idle/PTO death) rather than an announced close.
     uplink_failures_detected: int = 0
+    #: SUBSCRIBEs rejected by the token-bucket rate limit (each one answered
+    #: with SUBSCRIBE_ERROR(TOO_MANY_SUBSCRIBERS, retry_after)).
+    admission_rejections: int = 0
+    #: SUBSCRIBEs rejected because the pending-subscribe queue hit its bound.
+    admission_queue_rejections: int = 0
+    #: SUBSCRIBEs that bypassed admission control on subscriber priority.
+    admission_priority_bypasses: int = 0
+    #: Deepest the pending-subscribe queue (downstream subscribes deferred
+    #: awaiting the upstream answer) ever got — the quantity an unlimited
+    #: policy lets grow linearly with storm size (the E16 baseline
+    #: pathology) and a bounded policy caps.
+    pending_subscribe_high_water: int = 0
 
 
 class MoqtRelay:
@@ -217,6 +232,7 @@ class MoqtRelay:
         tier: str = "",
         upstream_connection: ConnectionConfig | None = None,
         downstream_connection: ConnectionConfig | None = None,
+        admission: "AdmissionPolicy | None" = None,
     ) -> None:
         self.host = host
         self.simulator = host.simulator
@@ -232,6 +248,16 @@ class MoqtRelay:
         #: controller can switch the uplink while pending subscribes are
         #: still transplantable.
         self.on_uplink_dying: Callable[["MoqtRelay", str], None] | None = None
+        #: Admission controller, present only when a *limited* policy was
+        #: given: the default (None) is the historical admit-everything
+        #: relay, with zero per-subscribe overhead and unchanged wire bytes.
+        #: The import is deferred to keep moqt free of a load-time
+        #: dependency on relaynet (which imports this module).
+        self.admission: "AdmissionController | None" = None
+        if admission is not None and admission.limited:
+            from repro.relaynet.admission import AdmissionController
+
+            self.admission = AdmissionController(admission)
         self.statistics = RelayStatistics()
         self._tracks: dict[FullTrackName, RelayTrack] = {}
         self._downstream_sessions: list[MoqtSession] = []
@@ -283,6 +309,10 @@ class MoqtRelay:
         """Drop every subscription a departed downstream session held."""
         if session in self._downstream_sessions:
             self._downstream_sessions.remove(session)
+        if self.admission is not None:
+            # A rejected session that leaves (spillover, give-up) abandons
+            # its token reservation instead of leaking a table entry.
+            self.admission.forget(session)
         for request_id in list(self._downstream_index.get(session, {})):
             self._remove_downstream(session, request_id)
 
@@ -590,10 +620,42 @@ class MoqtRelay:
         return dict(self._tracks)
 
     # ------------------------------------------------------------- subscription
+    def pending_subscribe_count(self) -> int:
+        """Downstream subscribes currently deferred awaiting an upstream answer."""
+        return sum(len(track.awaiting_upstream) for track in self._tracks.values())
+
     def _handle_downstream_subscribe(
         self, session: MoqtSession, message: Subscribe
     ) -> SubscribeResult | None:
         self.statistics.downstream_subscribes += 1
+        admission = self.admission
+        if admission is not None:
+            # The gate runs before *any* registration: a rejected SUBSCRIBE
+            # never creates a _DownstreamSubscriber or an index entry, so
+            # there is nothing to clean up when the error goes out.  It also
+            # only ever polices arrivals — established subscriptions are
+            # structurally beyond its reach (never shed to admit new ones).
+            policy = admission.policy
+            threshold = policy.priority_admit_threshold
+            if threshold is not None and message.subscriber_priority <= threshold:
+                self.statistics.admission_priority_bypasses += 1
+            decision = admission.decide(
+                session,
+                self.simulator.now,
+                self.pending_subscribe_count(),
+                message.subscriber_priority,
+            )
+            if not decision.admitted:
+                if decision.cause == "queue":
+                    self.statistics.admission_queue_rejections += 1
+                else:
+                    self.statistics.admission_rejections += 1
+                return SubscribeResult(
+                    ok=False,
+                    error_code=SubscribeErrorCode.TOO_MANY_SUBSCRIBERS,
+                    reason=f"admission: {decision.cause} limit",
+                    retry_after_ms=decision.retry_after_ms,
+                )
         track = self._track_for(message.full_track_name)
         subscriber = _DownstreamSubscriber(session, message.request_id)
         track.downstream.append(subscriber)
@@ -601,7 +663,7 @@ class MoqtRelay:
         if track.upstream_subscription is None:
             # First subscriber for this track: aggregate into one upstream
             # subscription and answer the downstream once it is accepted.
-            track.awaiting_upstream.append(subscriber)
+            self._defer_awaiting_upstream(track, subscriber)
             if track.recovery.active:
                 # The previous uplink died with a gap recovery in flight
                 # (its armed buffer was carried, not dropped): re-attach
@@ -623,9 +685,21 @@ class MoqtRelay:
             # Joiners during the upstream round trip must share its outcome —
             # answering ok optimistically would strand them on a dead track
             # if the upstream rejects.
-            track.awaiting_upstream.append(subscriber)
+            self._defer_awaiting_upstream(track, subscriber)
             return None
         return SubscribeResult(ok=True, largest=track.cache.largest)
+
+    def _defer_awaiting_upstream(
+        self, track: RelayTrack, subscriber: _DownstreamSubscriber
+    ) -> None:
+        """Queue a downstream subscribe behind the in-flight upstream answer,
+        tracking the queue's high-water mark (the overload signal bounded
+        admission policies cap and the E16 baseline shows growing with storm
+        size)."""
+        track.awaiting_upstream.append(subscriber)
+        pending = self.pending_subscribe_count()
+        if pending > self.statistics.pending_subscribe_high_water:
+            self.statistics.pending_subscribe_high_water = pending
 
     def _on_upstream_response(self, track: RelayTrack, subscription: Subscription) -> None:
         if track.upstream_subscription is not subscription:

@@ -86,13 +86,19 @@ class MoqtSessionConfig:
 
 @dataclass
 class SubscribeResult:
-    """Publisher delegate's answer to a SUBSCRIBE."""
+    """Publisher delegate's answer to a SUBSCRIBE.
+
+    ``retry_after_ms`` only matters on the rejection path: a non-zero value
+    rides the SUBSCRIBE_ERROR as an admission-control hint telling the
+    subscriber how long to back off before retrying.
+    """
 
     ok: bool
     largest: Location | None = None
     expires_ms: int = 0
     error_code: SubscribeErrorCode = SubscribeErrorCode.INTERNAL_ERROR
     reason: str = ""
+    retry_after_ms: int = 0
 
 
 @dataclass
@@ -151,6 +157,7 @@ class Subscription:
     largest: Location | None = None
     error_code: int = 0
     error_reason: str = ""
+    retry_after_ms: int = 0
     expires_ms: int = 0
     content_exists: bool = False
     created_at: float = 0.0
@@ -795,6 +802,7 @@ class MoqtSession:
                     error_code=int(result.error_code),
                     reason=result.reason,
                     track_alias=message.track_alias,
+                    retry_after_ms=result.retry_after_ms,
                 )
             )
             return None
@@ -924,6 +932,7 @@ class MoqtSession:
         subscription.responded_at = self._simulator.now
         subscription.error_code = message.error_code
         subscription.error_reason = message.reason
+        subscription.retry_after_ms = message.retry_after_ms
         # A rejected subscription is as dead as an unsubscribed one: drop it
         # from the routing maps so retry churn cannot accumulate state.
         self._subscriptions.pop(message.request_id, None)

@@ -120,6 +120,23 @@ class ConnectionConfig:
     liveness_suspect_after: int | None = None
     congestion_controller: Callable[[], CongestionController] | None = None
 
+    def __post_init__(self) -> None:
+        # A zero or negative timer would arm an event in the past and spin
+        # the simulator; fail at construction, not at the first PTO.
+        if self.idle_timeout <= 0:
+            raise ValueError(f"idle_timeout must be positive: {self.idle_timeout}")
+        if self.keepalive_interval is not None and self.keepalive_interval <= 0:
+            raise ValueError(
+                f"keepalive_interval must be positive: {self.keepalive_interval}"
+            )
+        if self.initial_rtt <= 0:
+            raise ValueError(f"initial_rtt must be positive: {self.initial_rtt}")
+        if self.liveness_suspect_after is not None and self.liveness_suspect_after < 1:
+            raise ValueError(
+                "liveness_suspect_after needs at least one probe timeout: "
+                f"{self.liveness_suspect_after}"
+            )
+
 
 class _EncodedStreamPacket:
     """Retransmission record for a preassembled one-shot stream packet.

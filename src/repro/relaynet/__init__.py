@@ -49,14 +49,23 @@ measured-vs-model experiments are :mod:`repro.experiments.relay_fanout`
 """
 
 from repro.relaynet.spec import RelayTierSpec, RelayTreeSpec
+from repro.relaynet.admission import (
+    UNLIMITED,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+    RetryPolicy,
+)
 from repro.relaynet.aggregate import AggregateLeaf, expand_member_sequences
 from repro.relaynet.builder import RelayNode, RelayTree, RelayTreeBuilder, TreeSubscriber
 from repro.relaynet.origincluster import ClusterOrigin, OriginCluster, OriginPromotion
 from repro.relaynet.stats import RelayNetStats, TierStats
 from repro.relaynet.topology import (
+    AdmissionRecord,
     FailoverEvent,
     FailoverPolicy,
     FailoverRecord,
+    FlashCrowdStorm,
     GrandparentFailover,
     NoSurvivingParentError,
     RelayTopology,
@@ -78,6 +87,13 @@ __all__ = [
     "RelayNetStats",
     "TierStats",
     "RelayTopology",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "AdmissionRecord",
+    "RetryPolicy",
+    "UNLIMITED",
+    "FlashCrowdStorm",
     "FailoverPolicy",
     "FailoverEvent",
     "FailoverRecord",

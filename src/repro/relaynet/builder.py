@@ -34,6 +34,7 @@ from repro.moqt.track import FullTrackName
 from repro.netsim.network import Network
 from repro.netsim.packet import Address
 from repro.quic.connection import ConnectionConfig
+from repro.relaynet.admission import AdmissionPolicy
 from repro.relaynet.aggregate import AggregateLeaf
 from repro.relaynet.spec import RelayTreeSpec
 from repro.relaynet.topology import (
@@ -141,6 +142,10 @@ class RelayTree:
         """Subscribe every (given or attached) subscriber to one track."""
         return self.topology.subscribe_all(full_track_name, on_object, subscribers)
 
+    def flash_crowd(self, count: int, window: float, full_track_name: FullTrackName, **kwargs):
+        """Inject a subscribe storm (see :meth:`RelayTopology.flash_crowd`)."""
+        return self.topology.flash_crowd(count, window, full_track_name, **kwargs)
+
     # ------------------------------------------------------------ membership
     def add_relay(self, tier: str | int, parent: RelayNode | None = None) -> RelayNode:
         """Grow a tier by one relay while the tree runs."""
@@ -201,6 +206,7 @@ class RelayTreeBuilder:
         downstream_connection: ConnectionConfig | None = None,
         origin_cluster: "OriginCluster | None" = None,
         aggregate_leaves: bool = False,
+        admission: "AdmissionPolicy | None" = None,
     ) -> None:
         self.network = network
         self.origin = origin
@@ -212,6 +218,7 @@ class RelayTreeBuilder:
         self.downstream_connection = downstream_connection
         self.origin_cluster = origin_cluster
         self.aggregate_leaves = aggregate_leaves
+        self.admission = admission
         # Fail fast if the origin host is missing rather than at first subscribe.
         network.host(origin.host)
 
@@ -230,5 +237,6 @@ class RelayTreeBuilder:
                 downstream_connection=self.downstream_connection,
                 origin_cluster=self.origin_cluster,
                 aggregate_leaves=self.aggregate_leaves,
+                admission=self.admission,
             )
         )

@@ -50,6 +50,7 @@ from bisect import insort
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Protocol
 
+from repro.moqt.errors import AdmissionRejectedError, SubscribeErrorCode
 from repro.moqt.objectmodel import Location, MoqtObject
 from repro.moqt.relay import (
     DEDUPE_PRUNE_THRESHOLD,
@@ -67,6 +68,7 @@ from repro.netsim.node import Host
 from repro.netsim.packet import Address
 from repro.quic.connection import ConnectionConfig
 from repro.quic.endpoint import QuicEndpoint
+from repro.relaynet.admission import AdmissionPolicy, RetryPolicy
 from repro.relaynet.aggregate import AggregateLeaf, plan_leaf_assignments
 from repro.relaynet.spec import RelayTreeSpec
 
@@ -160,13 +162,19 @@ class TreeSubscriber:
         self,
         full_track_name: FullTrackName,
         on_object: Callable[[MoqtObject], None] | None = None,
+        on_response: Callable[[Subscription], None] | None = None,
     ) -> Subscription:
-        """Subscribe to a track with duplicate-free delivery to ``on_object``."""
+        """Subscribe to a track with duplicate-free delivery to ``on_object``.
+
+        ``on_response`` fires with the answered subscription — the hook the
+        topology's admission retry-with-backoff machinery hangs off.
+        """
         track = _SubscriberTrack(full_track_name=full_track_name, on_object=on_object)
         self.tracks.append(track)
         track.subscription = self.session.subscribe(
             full_track_name,
             on_object=lambda obj, t=track: self.deliver(t, obj),
+            on_response=on_response,
         )
         return track.subscription
 
@@ -378,6 +386,109 @@ class NoSurvivingParentError(RuntimeError):
         self.event = event
 
 
+# ------------------------------------------------------------------- admission
+@dataclass
+class AdmissionRecord:
+    """One flash-crowd subscriber's journey through admission control.
+
+    The admission-side sibling of :class:`FailoverRecord`: joined/admitted
+    timestamps bracket the join latency, and the retry schedule (absolute
+    simulator times each retry was scheduled for) is what the determinism
+    property tests compare across seeded replays.
+    """
+
+    name: str
+    leaf: str
+    joined_at: float
+    attempts: int = 0
+    rejections: int = 0
+    queue_rejections: int = 0
+    spillovers: int = 0
+    #: Absolute simulator times retries were scheduled to fire at, in order.
+    retry_schedule: list[float] = field(default_factory=list)
+    admitted_at: float | None = None
+    #: True once the retry budget ran out: this subscriber will never be
+    #: admitted and :meth:`FlashCrowdStorm.raise_for_failures` reports it.
+    terminal: bool = False
+
+    def mark_admitted(self, now: float) -> None:
+        """Record the first accepted SUBSCRIBE (idempotent)."""
+        if self.admitted_at is None:
+            self.admitted_at = now
+
+    @property
+    def join_latency(self) -> float | None:
+        """Seconds from the join to an accepted subscription."""
+        if self.admitted_at is None:
+            return None
+        return self.admitted_at - self.joined_at
+
+
+@dataclass
+class FlashCrowdStorm:
+    """Everything one :meth:`RelayTopology.flash_crowd` injection produced."""
+
+    count: int
+    window: float
+    started_at: float
+    full_track_name: FullTrackName
+    records: list[AdmissionRecord] = field(default_factory=list)
+    subscribers: list[TreeSubscriber] = field(default_factory=list)
+
+    @property
+    def admitted(self) -> int:
+        """Stormers whose subscription was eventually accepted."""
+        return sum(1 for record in self.records if record.admitted_at is not None)
+
+    @property
+    def rejections(self) -> int:
+        """Total SUBSCRIBE_ERROR(TOO_MANY_SUBSCRIBERS) answers observed."""
+        return sum(record.rejections + record.queue_rejections for record in self.records)
+
+    @property
+    def retries(self) -> int:
+        """Total retry SUBSCRIBEs issued (attempts beyond each first try)."""
+        return sum(max(0, record.attempts - 1) for record in self.records)
+
+    @property
+    def spillovers(self) -> int:
+        """Total sibling-leaf re-routes performed before admission."""
+        return sum(record.spillovers for record in self.records)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every stormer has been admitted."""
+        return self.admitted == len(self.records)
+
+    @property
+    def completion_time(self) -> float | None:
+        """Seconds from storm start to the last admission (None while open)."""
+        if not self.records or not self.complete:
+            return None
+        return max(record.admitted_at for record in self.records) - self.started_at
+
+    def join_latencies(self) -> list[float]:
+        """Per-stormer join latencies, in join order (admitted only)."""
+        return [
+            record.join_latency
+            for record in self.records
+            if record.join_latency is not None
+        ]
+
+    def raise_for_failures(self) -> None:
+        """Surface the first terminal rejection as an exception.
+
+        Retry exhaustion is detected inside transport callbacks, which must
+        never unwind the event loop (the :class:`NoSurvivingParentError`
+        precedent), so the terminal state lands on the record; callers
+        invoke this after the simulation settles to turn it into a raised
+        :class:`~repro.moqt.errors.AdmissionRejectedError`.
+        """
+        for record in self.records:
+            if record.terminal:
+                raise AdmissionRejectedError(self.full_track_name, record.attempts)
+
+
 # ------------------------------------------------------------------- topology
 class RelayTopology:
     """The live membership view of a relay hierarchy.
@@ -438,6 +549,7 @@ class RelayTopology:
         downstream_connection: ConnectionConfig | None = None,
         origin_cluster: "OriginCluster | None" = None,
         aggregate_leaves: bool = False,
+        admission: AdmissionPolicy | None = None,
     ) -> None:
         self.network = network
         self.origin = origin
@@ -449,6 +561,11 @@ class RelayTopology:
         self.uplink_connection = uplink_connection
         self.subscriber_connection = subscriber_connection
         self.downstream_connection = downstream_connection
+        #: Admission policy installed on every relay (each relay gets its own
+        #: controller state).  None — the default — is the historical
+        #: admit-everything behaviour with zero overhead and unchanged wire
+        #: bytes; flash-crowd deployments pass a limited policy here.
+        self.admission = admission
         #: When True, :meth:`attach_subscribers` collapses each leaf's
         #: homogeneous population into one counted representative
         #: (:mod:`repro.relaynet.aggregate`); span-sampled indices and
@@ -518,6 +635,7 @@ class RelayTopology:
             tier=tier_spec.name,
             upstream_connection=self.uplink_connection,
             downstream_connection=self.downstream_connection,
+            admission=self.admission,
         )
         relay.on_uplink_dying = self._on_relay_uplink_dying
         index = self._tier_created[tier_index]
@@ -848,6 +966,208 @@ class RelayTopology:
         finally:
             self.network.end_batch()
         return subscriptions
+
+    # -------------------------------------------------------------- flash crowd
+    def flash_crowd(
+        self,
+        count: int,
+        window: float,
+        full_track_name: FullTrackName,
+        on_object: Callable[[TreeSubscriber, MoqtObject], None] | None = None,
+        session_config: MoqtSessionConfig | None = None,
+        host_prefix: str = "storm",
+        retry: RetryPolicy | None = None,
+        leaf: "RelayNode | None" = None,
+    ) -> FlashCrowdStorm:
+        """Inject a subscribe storm: ``count`` joins inside ``window`` seconds.
+
+        Join ``i`` fires at ``now + (i * window) / count`` (evenly spaced,
+        all strictly inside the window); each join creates a host below the
+        least-loaded alive leaf — or below ``leaf`` when one is pinned,
+        modelling the geographically concentrated crowd that slams a single
+        edge relay — opens a session and subscribes to ``full_track_name``
+        under the admission retry contract:
+
+        * a ``TOO_MANY_SUBSCRIBERS`` rejection waits the advertised
+          ``retry_after`` (the relay's reservation makes exactly one retry
+          sufficient) or, absent a hint, a jittered exponential backoff
+          drawn from the seeded simulator RNG;
+        * before retrying the original leaf, the subscriber spills to the
+          least-loaded *non-saturated* sibling leaf (bounded by
+          ``retry.max_spillovers``), turning local overload into tree-wide
+          load spreading;
+        * ``retry.max_attempts`` rejections turn the record terminal —
+          :meth:`FlashCrowdStorm.raise_for_failures` surfaces
+          :class:`~repro.moqt.errors.AdmissionRejectedError` after the run.
+
+        Returns immediately with the (empty) storm object; run the
+        simulator to let the joins fire and drain.
+        """
+        if count < 1:
+            raise ValueError(f"flash crowd needs at least one subscriber: {count}")
+        if window < 0:
+            raise ValueError(f"storm window must be non-negative: {window}")
+        simulator = self.network.simulator
+        config = session_config if session_config is not None else self.session_config
+        policy = retry if retry is not None else RetryPolicy()
+        storm = FlashCrowdStorm(
+            count=count,
+            window=window,
+            started_at=simulator.now,
+            full_track_name=full_track_name,
+        )
+        for index in range(count):
+            simulator.call_later(
+                (index * window) / count,
+                self._storm_join,
+                storm,
+                config,
+                host_prefix,
+                on_object,
+                policy,
+                leaf,
+            )
+        return storm
+
+    def _storm_join(
+        self,
+        storm: FlashCrowdStorm,
+        config: MoqtSessionConfig,
+        host_prefix: str,
+        on_object: Callable[[TreeSubscriber, MoqtObject], None] | None,
+        retry: RetryPolicy,
+        pinned_leaf: "RelayNode | None" = None,
+    ) -> None:
+        """One storm participant arrives: host, link, session, subscribe."""
+        index = self._subscribers_created
+        self._subscribers_created += 1
+        leaf = pinned_leaf if pinned_leaf is not None else self._pick_leaf()
+        host = self.network.add_host(f"{host_prefix}-{index}")
+        self.network.connect(leaf.host, host, self.spec.subscriber_link)
+        session = self._open_subscriber_session(host, leaf, config)
+        subscriber = TreeSubscriber(
+            index=index, host=host, session=session, leaf=leaf, config=config
+        )
+        self._watch_subscriber_session(subscriber)
+        leaf.load += 1
+        self.subscribers.append(subscriber)
+        storm.subscribers.append(subscriber)
+        record = AdmissionRecord(
+            name=host.address,
+            leaf=leaf.host.address,
+            joined_at=self.network.simulator.now,
+        )
+        storm.records.append(record)
+        callback = None
+        if on_object is not None:
+            callback = lambda obj, sub=subscriber: on_object(sub, obj)
+        self._admission_subscribe(subscriber, storm, record, callback, retry)
+
+    def _admission_subscribe(
+        self,
+        subscriber: TreeSubscriber,
+        storm: FlashCrowdStorm,
+        record: AdmissionRecord,
+        on_object: Callable[[MoqtObject], None] | None,
+        retry: RetryPolicy,
+    ) -> None:
+        """Subscribe with the bounded retry / spillover admission contract."""
+        simulator = self.network.simulator
+        track = _SubscriberTrack(
+            full_track_name=storm.full_track_name, on_object=on_object
+        )
+        subscriber.tracks.append(track)
+
+        def attempt() -> None:
+            record.attempts += 1
+            # Always subscribe on the *current* session — spillover swaps it.
+            track.subscription = subscriber.session.subscribe(
+                storm.full_track_name,
+                on_object=lambda obj, t=track: subscriber.deliver(t, obj),
+                on_response=on_response,
+            )
+
+        def on_response(subscription: Subscription) -> None:
+            if subscription.is_active:
+                record.leaf = subscriber.leaf.host.address
+                record.mark_admitted(simulator.now)
+                return
+            if subscription.error_code != int(SubscribeErrorCode.TOO_MANY_SUBSCRIBERS):
+                # A hard (non-admission) refusal: no amount of backoff will
+                # change the answer, so the record turns terminal at once.
+                record.terminal = True
+                return
+            if "queue" in subscription.error_reason:
+                record.queue_rejections += 1
+            else:
+                record.rejections += 1
+            if record.attempts >= retry.max_attempts:
+                record.terminal = True
+                return
+            if record.spillovers < retry.max_spillovers:
+                target = self._pick_spillover_leaf(subscriber.leaf)
+                if target is not None:
+                    # Re-route to a sibling with headroom before retrying
+                    # the original: the new session's handshake provides the
+                    # natural pacing, no timer needed.
+                    record.spillovers += 1
+                    self._spill_subscriber(subscriber, target)
+                    attempt()
+                    return
+            if subscription.retry_after_ms > 0:
+                delay = subscription.retry_after_ms / 1000.0
+            else:
+                rejections = record.rejections + record.queue_rejections
+                delay = retry.backoff_delay(rejections, simulator.rng)
+            record.retry_schedule.append(simulator.now + delay)
+            simulator.call_later(delay, attempt)
+
+        attempt()
+
+    def _pick_spillover_leaf(self, current: RelayNode) -> RelayNode | None:
+        """Least-loaded alive sibling leaf that would admit a fresh arrival.
+
+        Saturation is a pure peek at each candidate's admission controller
+        (no token consumed, no reservation made); leaves without admission
+        control are never saturated.  Returns None when every sibling is
+        saturated — the caller falls back to backoff on the current leaf.
+        """
+        now = self.network.simulator.now
+        candidates = []
+        for node in self.alive_leaves():
+            if node is current:
+                continue
+            controller = node.relay.admission
+            if controller is not None and controller.saturated(
+                now, node.relay.pending_subscribe_count()
+            ):
+                continue
+            candidates.append(node)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda node: (node.load, node.index))
+
+    def _spill_subscriber(self, subscriber: TreeSubscriber, target: RelayNode) -> None:
+        """Move a not-yet-admitted subscriber under another leaf.
+
+        The admission sibling of :meth:`_reattach_subscriber`: the old
+        session closes (releasing its token reservation at the old leaf —
+        the relay forgets reservations on session close), the link to the
+        new leaf is created on first use, and loads move with the
+        subscriber.  No track re-subscription happens here — the caller
+        retries the SUBSCRIBE itself on the fresh session.
+        """
+        old_leaf = subscriber.leaf
+        if not subscriber.session.closed:
+            subscriber.session.close("admission spillover")
+        old_leaf.load -= 1
+        if not self.network.has_link(target.host.address, subscriber.host.address):
+            self.network.connect(target.host, subscriber.host, self.spec.subscriber_link)
+        config = subscriber.config if subscriber.config is not None else self.session_config
+        subscriber.session = self._open_subscriber_session(subscriber.host, target, config)
+        self._watch_subscriber_session(subscriber)
+        subscriber.leaf = target
+        target.load += 1
 
     # -------------------------------------------------------------- membership
     def add_relay(self, tier: str | int, parent: RelayNode | None = None) -> RelayNode:

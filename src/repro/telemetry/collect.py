@@ -161,6 +161,10 @@ def collect_relay_tree(metrics: MetricsRegistry, tree) -> None:
     duplicate_drops = 0
     uplink_failures = 0
     upstream_switches = 0
+    admission_rejections = 0
+    admission_queue_rejections = 0
+    admission_priority_bypasses = 0
+    pending_subscribe_high_water = 0
     leaf_tier_index = len(tree.tiers) - 1
     for tier_index, nodes in enumerate(tree.tiers):
         if not nodes:
@@ -186,6 +190,11 @@ def collect_relay_tree(metrics: MetricsRegistry, tree) -> None:
             duplicate_drops += statistics.duplicate_objects_dropped
             uplink_failures += statistics.uplink_failures_detected
             upstream_switches += statistics.upstream_switches
+            admission_rejections += statistics.admission_rejections
+            admission_queue_rejections += statistics.admission_queue_rejections
+            admission_priority_bypasses += statistics.admission_priority_bypasses
+            if statistics.pending_subscribe_high_water > pending_subscribe_high_water:
+                pending_subscribe_high_water = statistics.pending_subscribe_high_water
             uplink = node.relay.upstream_quic_connection
             if uplink is not None:
                 _scrape_quic(quic_totals["relay-uplink"], uplink)
@@ -255,6 +264,22 @@ def collect_relay_tree(metrics: MetricsRegistry, tree) -> None:
     metrics.gauge("relaynet_upstream_switches", "Relay uplink re-parent operations").set(
         upstream_switches
     )
+    metrics.gauge(
+        "relaynet_admission_rejections",
+        "SUBSCRIBEs rejected by the token-bucket rate limit",
+    ).set(admission_rejections)
+    metrics.gauge(
+        "relaynet_admission_queue_rejections",
+        "SUBSCRIBEs rejected because the pending-subscribe queue was full",
+    ).set(admission_queue_rejections)
+    metrics.gauge(
+        "relaynet_admission_priority_bypasses",
+        "High-priority SUBSCRIBEs admitted past the policy",
+    ).set(admission_priority_bypasses)
+    metrics.gauge(
+        "relaynet_pending_subscribe_high_water",
+        "Largest pending-subscribe queue any relay ever held",
+    ).set(pending_subscribe_high_water)
     # The ticket-width deficit is bytes the dense handshakes would have
     # carried beyond the multiplied representatives': sent by the leaf
     # relays, received by the subscribers.

@@ -87,6 +87,12 @@ def test_fanout_telemetry_gauge_identity():
     for key, value in dense.items():
         if key[0].startswith(("sim_", "pool_")):
             continue  # scheduler/pool counters collapse by design
+        if key[0] == "relaynet_pending_subscribe_high_water":
+            # A transient in-flight quantity, not a multiplied-out statistic:
+            # a counted leaf parks ONE awaiting-upstream SUBSCRIBE where the
+            # dense attach sequence parks up to N, so the high-water collapses
+            # with the event count, by design.
+            continue
         assert aggregate[key] == value, f"gauge {key} diverged"
     assert dense_latency == aggregate_latency
 

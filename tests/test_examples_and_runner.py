@@ -78,7 +78,7 @@ class TestRunner:
         identifiers = [report.experiment_id for report in reports]
         assert identifiers == [
             "E1", "E2", "E3", "E4", "E5", "E6", "E7/E8", "E9", "E10", "E11", "E12",
-            "E13", "E14", "E15",
+            "E13", "E14", "E15", "E16",
         ]
         for report in reports:
             assert report.table and "-" in report.table

@@ -138,6 +138,23 @@ class TestControlMessages:
         error = SubscribeError(request_id=2, error_code=4, reason="no such track", track_alias=9)
         assert _roundtrip(error) == error
 
+    def test_subscribe_error_retry_after_roundtrip(self):
+        error = SubscribeError(
+            request_id=5, error_code=7, reason="admission", track_alias=3,
+            retry_after_ms=123,
+        )
+        decoded = _roundtrip(error)
+        assert decoded == error and decoded.retry_after_ms == 123
+
+    def test_subscribe_error_without_retry_after_keeps_old_wire_bytes(self):
+        # retry_after_ms == 0 must not be encoded at all: the pre-admission
+        # four-field wire image is frozen (seeded experiment outputs pin it),
+        # and a decoder reading those bytes must yield retry_after_ms == 0.
+        error = SubscribeError(request_id=2, error_code=4, reason="x", track_alias=9)
+        assert error.encode() == bytes.fromhex("0500050204017809")
+        decoded = _roundtrip(error)
+        assert decoded == error and decoded.retry_after_ms == 0
+
     def test_standalone_fetch_roundtrip(self):
         message = Fetch(
             request_id=6,
